@@ -1,0 +1,320 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at bench scale (DESIGN.md §5 maps each benchmark to its
+// experiment id). Coverage percentages, speedups and mismatch counts
+// are attached to the benchmark output via ReportMetric, so
+// `go test -bench=. -benchmem` prints the reproduced rows; the
+// full-scale campaign lives in cmd/fuzz-bench.
+package chatfuzz
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chatfuzz/internal/baseline/randfuzz"
+	"chatfuzz/internal/baseline/thehuzz"
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/corpus"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/ml/nn"
+	"chatfuzz/internal/ml/ppo"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl/boom"
+	"chatfuzz/internal/rtl/rocket"
+)
+
+// benchPipe is a once-trained small pipeline shared by the experiment
+// benchmarks (training cost is excluded from their timings via
+// ResetTimer).
+var (
+	benchOnce sync.Once
+	benchPipe *core.Pipeline
+)
+
+func benchPipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := core.DefaultPipelineConfig()
+		cfg.Corpus.Functions = 600
+		cfg.Model = nn.Config{Ctx: 64, Dim: 48, Heads: 4, Layers: 2}
+		cfg.MaxVocab = 1024
+		cfg.PretrainSteps = 150
+		cfg.CleanupSteps = 15
+		cfg.CoverageSteps = 0
+		benchPipe = core.NewPipeline(cfg)
+		benchPipe.Pretrain()
+		benchPipe.Cleanup()
+	})
+	return benchPipe
+}
+
+const benchBody = 24
+
+// runBenchCampaign runs one scaled campaign and returns the fuzzer.
+func runBenchCampaign(gen core.Generator, dutName string, tests int, detect bool) *core.Fuzzer {
+	var f *core.Fuzzer
+	if dutName == "boom" {
+		f = core.NewFuzzer(gen, boom.New(), core.Options{BatchSize: 16, Detect: detect})
+	} else {
+		f = core.NewFuzzer(gen, rocket.New(), core.Options{BatchSize: 16, Detect: detect})
+	}
+	f.RunTests(tests)
+	return f
+}
+
+// BenchmarkFig2CoverageOverTime is experiment E1: the ChatFuzz and
+// TheHuzz coverage trajectories on Rocket (Fig. 2's two series).
+func BenchmarkFig2CoverageOverTime(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := rocket.New()
+		chat := runBenchCampaign(core.NewLLMGenerator(p, dut.Space().NumBins(), false, 1), "rocket", 320, false)
+		huzz := runBenchCampaign(thehuzz.New(2, benchBody), "rocket", 320, false)
+		b.ReportMetric(chat.Coverage(), "chatfuzz_%")
+		b.ReportMetric(huzz.Coverage(), "thehuzz_%")
+		b.ReportMetric(chat.Clk.Hours(), "virt_hours")
+	}
+}
+
+// BenchmarkTableCoverage1800 is experiment E2: coverage at an equal
+// (scaled) test budget — paper row: ChatFuzz 74.96% vs TheHuzz 67.4%.
+func BenchmarkTableCoverage1800(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := rocket.New()
+		chat := runBenchCampaign(core.NewLLMGenerator(p, dut.Space().NumBins(), false, 3), "rocket", 400, false)
+		huzz := runBenchCampaign(thehuzz.New(4, benchBody), "rocket", 400, false)
+		b.ReportMetric(chat.Coverage(), "chatfuzz_%")
+		b.ReportMetric(huzz.Coverage(), "thehuzz_%")
+	}
+}
+
+// BenchmarkTableCoverage199k is experiment E3 (scaled): coverage at a
+// large budget — paper row: 79.14% vs 76.7% at 199 K tests.
+func BenchmarkTableCoverage199k(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := rocket.New()
+		chat := runBenchCampaign(core.NewLLMGenerator(p, dut.Space().NumBins(), false, 5), "rocket", 960, false)
+		huzz := runBenchCampaign(thehuzz.New(6, benchBody), "rocket", 960, false)
+		b.ReportMetric(chat.Coverage(), "chatfuzz_%")
+		b.ReportMetric(huzz.Coverage(), "thehuzz_%")
+	}
+}
+
+// BenchmarkTableTimeTo75 is experiment E4: virtual time for TheHuzz to
+// reach ChatFuzz's small-budget coverage (paper: 34.6× slower).
+func BenchmarkTableTimeTo75(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := rocket.New()
+		chat := runBenchCampaign(core.NewLLMGenerator(p, dut.Space().NumBins(), false, 7), "rocket", 320, false)
+		target := chat.Coverage()
+		tChat := chat.TimeToCoverage(target)
+
+		huzz := runBenchCampaign(thehuzz.New(8, benchBody), "rocket", 960, false)
+		tHuzz := huzz.TimeToCoverage(target)
+		if tHuzz < 0 {
+			tHuzz = huzz.Clk.Hours() // lower bound: never reached
+		}
+		if tChat > 0 {
+			b.ReportMetric(tHuzz/tChat, "speedup_x")
+		}
+		b.ReportMetric(target, "target_%")
+	}
+}
+
+// BenchmarkBoomCoverage is experiment E5: ChatFuzz on the BOOM model
+// (paper: 97.02% in 49 minutes).
+func BenchmarkBoomCoverage(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := boom.New()
+		chat := runBenchCampaign(core.NewLLMGenerator(p, dut.Space().NumBins(), false, 9), "boom", 320, false)
+		b.ReportMetric(chat.Coverage(), "boom_%")
+		b.ReportMetric(chat.Clk.Hours()*60, "virt_min")
+	}
+}
+
+// BenchmarkFindingsMismatches is experiment E6: differential testing
+// finds and classifies the injected findings (paper: 5 866 raw
+// mismatches, >100 unique, Bug1/Bug2 + Findings 1-3).
+func BenchmarkFindingsMismatches(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := rocket.New()
+		f := runBenchCampaign(core.NewLLMGenerator(p, dut.Space().NumBins(), false, 11), "rocket", 320, true)
+		b.ReportMetric(float64(f.Det.RawCount), "raw_mismatches")
+		b.ReportMetric(float64(len(f.Det.Unique())), "unique")
+		b.ReportMetric(float64(len(f.Det.Findings())), "findings")
+	}
+}
+
+// BenchmarkTrainingStep2Reward is experiment E7: the Eq. 1 reward
+// trend during PPO language cleanup.
+func BenchmarkTrainingStep2Reward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultPipelineConfig()
+		cfg.Corpus.Functions = 300
+		cfg.Model = nn.Config{Ctx: 64, Dim: 32, Heads: 2, Layers: 1}
+		cfg.MaxVocab = 512
+		cfg.PretrainSteps = 60
+		cfg.CleanupSteps = 10
+		p := core.NewPipeline(cfg)
+		p.Pretrain()
+		st := p.Cleanup()
+		b.ReportMetric(st[0].MeanReward, "reward_first")
+		b.ReportMetric(st[len(st)-1].MeanReward, "reward_last")
+		b.ReportMetric(st[len(st)-1].MeanKL, "kl_last")
+	}
+}
+
+// BenchmarkTrainingStep3Reward is experiment E8: the coverage-reward
+// trend during PPO coverage optimisation.
+func BenchmarkTrainingStep3Reward(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := p.Cfg
+		cfg.CoverageSteps = 6
+		cfg.CoverageBatch = 8
+		// CoverageTune mutates the model; run on a clone to keep the
+		// shared bench pipeline stable.
+		clone := *p
+		clone.Cfg = cfg
+		clone.Model = p.Model.Clone()
+		st := clone.CoverageTune(rocket.New())
+		b.ReportMetric(st[0].MeanReward, "reward_first")
+		b.ReportMetric(st[len(st)-1].MeanReward, "reward_last")
+	}
+}
+
+// BenchmarkAblationNoCleanup is ablation A1: invalid-instruction rate
+// with and without training step 2.
+func BenchmarkAblationNoCleanup(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := p.Cfg
+		cfg.PretrainSteps = 80
+		cfg.CleanupSteps = 0
+		noClean := core.NewPipeline(cfg)
+		noClean.Pretrain()
+		b.ReportMetric(100*p.InvalidRate(15), "invalid_full_%")
+		b.ReportMetric(100*noClean.InvalidRate(15), "invalid_noclean_%")
+	}
+}
+
+// BenchmarkAblationReward is ablation A2: the paper's three-term
+// coverage reward vs an incremental-only variant.
+func BenchmarkAblationReward(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dut := rocket.New()
+		gDef := core.NewLLMGenerator(p, dut.Space().NumBins(), true, 13)
+		def := runBenchCampaign(gDef, "rocket", 240, false)
+
+		gInc := core.NewLLMGenerator(p, dut.Space().NumBins(), true, 13)
+		gInc.Weights = core.IncrementalOnlyWeights()
+		inc := runBenchCampaign(gInc, "rocket", 240, false)
+
+		b.ReportMetric(def.Coverage(), "default_%")
+		b.ReportMetric(inc.Coverage(), "inconly_%")
+	}
+}
+
+// BenchmarkAblationBaselines is ablation A3: baseline ordering.
+func BenchmarkAblationBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		huzz := runBenchCampaign(thehuzz.New(15, benchBody), "rocket", 480, false)
+		valid := runBenchCampaign(randfuzz.New(16, benchBody), "rocket", 480, false)
+		raw := randfuzz.New(17, benchBody)
+		raw.Raw = true
+		rawF := runBenchCampaign(raw, "rocket", 480, false)
+		b.ReportMetric(huzz.Coverage(), "thehuzz_%")
+		b.ReportMetric(valid.Coverage(), "random_%")
+		b.ReportMetric(rawF.Coverage(), "raw_%")
+	}
+}
+
+// ---- Component throughput benchmarks ----
+
+// BenchmarkRocketSimulation measures DUT simulation throughput.
+func BenchmarkRocketSimulation(b *testing.B) {
+	r := rocket.New()
+	c := corpus.Generate(corpus.Config{Seed: 1, Functions: 32, MinLen: 20, MaxLen: 40})
+	imgs := make([]mem.Image, len(c.Functions))
+	for i, fn := range c.Functions {
+		imgs[i], _ = prog.Build(prog.Program{Body: fn})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(imgs[i%len(imgs)], 2000)
+	}
+}
+
+// BenchmarkBoomSimulation measures OoO model throughput.
+func BenchmarkBoomSimulation(b *testing.B) {
+	bm := boom.New()
+	c := corpus.Generate(corpus.Config{Seed: 2, Functions: 32, MinLen: 20, MaxLen: 40})
+	imgs := make([]mem.Image, len(c.Functions))
+	for i, fn := range c.Functions {
+		imgs[i], _ = prog.Build(prog.Program{Body: fn})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Run(imgs[i%len(imgs)], 2000)
+	}
+}
+
+// BenchmarkGoldenISS measures golden-model throughput.
+func BenchmarkGoldenISS(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Seed: 3, Functions: 32, MinLen: 20, MaxLen: 40})
+	imgs := make([]mem.Image, len(c.Functions))
+	for i, fn := range c.Functions {
+		imgs[i], _ = prog.Build(prog.Program{Body: fn})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mem.Platform()
+		m.Load(imgs[i%len(imgs)])
+		s := iss.New(m, imgs[i%len(imgs)].Entry)
+		s.Run(2000)
+	}
+}
+
+// BenchmarkLMGeneration measures sampler throughput (tokens/op in the
+// fuzzing loop's generation path).
+func BenchmarkLMGeneration(b *testing.B) {
+	p := benchPipeline(b)
+	rng := rand.New(rand.NewSource(1))
+	prompt := []int{0, 4, 5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Model.Generate(rng, prompt, 48, 1.0, 16, 1)
+	}
+}
+
+// BenchmarkPPOStep measures one PPO optimisation step.
+func BenchmarkPPOStep(b *testing.B) {
+	p := benchPipeline(b)
+	model := p.Model.Clone()
+	rng := rand.New(rand.NewSource(2))
+	cfg := ppo.DefaultConfig(1, 2)
+	cfg.MaxNewTokens = 24
+	tr := ppo.NewTrainer(model, cfg, rng)
+	prompts := [][]int{{0, 4, 5}, {0, 6, 7}, {0, 8, 9}, {0, 10, 11}}
+	reward := func(tokens []int, promptN int) float64 { return float64(len(tokens) - promptN) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(prompts, reward)
+	}
+}

@@ -1,0 +1,117 @@
+// Package chatfuzz is the public API of the ChatFuzz reproduction: an
+// ML-based hardware fuzzer (DATE 2024, arXiv:2404.06856) implemented
+// end-to-end in pure Go — a GPT-2-style language model trained on
+// machine code, refined with PPO against a disassembler and against
+// RTL condition coverage, fuzzing simulated RocketCore/BOOM designs
+// with differential mismatch detection against a golden-model ISS.
+//
+// Quickstart:
+//
+//	cfg := chatfuzz.DefaultPipelineConfig()
+//	p := chatfuzz.NewPipeline(cfg)
+//	p.Run(chatfuzz.NewRocket())                      // 3-step training
+//	dut := chatfuzz.NewRocket()
+//	gen := chatfuzz.NewLLMGenerator(p, dut.Space().NumBins(), true, 1)
+//	f := chatfuzz.NewFuzzer(gen, dut, chatfuzz.Options{BatchSize: 16, Detect: true})
+//	f.RunTests(500)
+//	fmt.Println(f.Coverage(), f.Det.Report())
+package chatfuzz
+
+import (
+	"chatfuzz/internal/baseline/randfuzz"
+	"chatfuzz/internal/baseline/thehuzz"
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/exp"
+	"chatfuzz/internal/mismatch"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/boom"
+	"chatfuzz/internal/rtl/rocket"
+)
+
+// Core fuzzing types.
+type (
+	// Pipeline is ChatFuzz's three-step training pipeline.
+	Pipeline = core.Pipeline
+	// PipelineConfig parameterises training.
+	PipelineConfig = core.PipelineConfig
+	// Fuzzer drives the coverage-guided fuzzing loop.
+	Fuzzer = core.Fuzzer
+	// Options configures a fuzzing campaign.
+	Options = core.Options
+	// Generator produces batches of test programs.
+	Generator = core.Generator
+	// LLMGenerator is the model-backed generator.
+	LLMGenerator = core.LLMGenerator
+	// ProgressPoint samples the coverage trajectory.
+	ProgressPoint = core.ProgressPoint
+	// RewardWeights shapes the coverage reward.
+	RewardWeights = core.RewardWeights
+
+	// DUT is a simulated design under test.
+	DUT = rtl.DUT
+	// Result is one simulation's outcome.
+	Result = rtl.Result
+	// Program is one fuzz input.
+	Program = prog.Program
+
+	// Detector is the differential Mismatch Detector.
+	Detector = mismatch.Detector
+	// Finding classifies a mismatch root cause.
+	Finding = mismatch.Finding
+
+	// CoverageScores are the Coverage Calculator's per-input values.
+	CoverageScores = cov.Scores
+
+	// Suite runs the paper's full experiment set.
+	Suite = exp.Suite
+	// Scale sizes an experiment run.
+	Scale = exp.Scale
+)
+
+// Finding identifiers (paper §V-B).
+const (
+	FindingBug1 = mismatch.FindingBug1
+	FindingBug2 = mismatch.FindingBug2
+	Finding1    = mismatch.Finding1
+	Finding2    = mismatch.Finding2
+	Finding3    = mismatch.Finding3
+)
+
+// DefaultPipelineConfig returns the default training configuration.
+func DefaultPipelineConfig() PipelineConfig { return core.DefaultPipelineConfig() }
+
+// NewPipeline builds corpus, tokenizer and model.
+func NewPipeline(cfg PipelineConfig) *Pipeline { return core.NewPipeline(cfg) }
+
+// NewFuzzer assembles a fuzzing campaign.
+func NewFuzzer(gen Generator, dut DUT, opts Options) *Fuzzer {
+	return core.NewFuzzer(gen, dut, opts)
+}
+
+// NewLLMGenerator wires a trained pipeline into the fuzzing loop.
+func NewLLMGenerator(p *Pipeline, binsTotal int, online bool, seed int64) *LLMGenerator {
+	return core.NewLLMGenerator(p, binsTotal, online, seed)
+}
+
+// NewRocket returns the RocketCore DUT model (with the paper's five
+// injected findings).
+func NewRocket() DUT { return rocket.New() }
+
+// NewBoom returns the BOOM DUT model.
+func NewBoom() DUT { return boom.New() }
+
+// NewTheHuzz returns the TheHuzz-style mutation baseline.
+func NewTheHuzz(seed int64, bodyInstrs int) Generator { return thehuzz.New(seed, bodyInstrs) }
+
+// NewRandomRegression returns the random-regression baseline.
+func NewRandomRegression(seed int64, bodyInstrs int) Generator {
+	return randfuzz.New(seed, bodyInstrs)
+}
+
+// QuickScale returns the laptop-sized experiment scale.
+func QuickScale() Scale { return exp.Quick() }
+
+// PaperScale returns the full-scale experiment configuration.
+func PaperScale() Scale { return exp.Paper() }

@@ -1,0 +1,85 @@
+// Command chatfuzz runs the ChatFuzz fuzzing loop against a simulated
+// DUT: the LLM-based input generator produces test vectors, the DUT
+// and the golden-model ISS execute them, the Coverage Calculator
+// scores them (optionally feeding online PPO updates), and the
+// Mismatch Detector reports findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/boom"
+	"chatfuzz/internal/rtl/rocket"
+)
+
+func main() {
+	var (
+		ckpt    = flag.String("model", "", "model checkpoint from train-lm (empty: train now)")
+		dutName = flag.String("dut", "rocket", "DUT: rocket or boom")
+		tests   = flag.Int("tests", 2000, "number of test inputs to run")
+		batch   = flag.Int("batch", 16, "batch size per fuzzing round")
+		online  = flag.Bool("online", true, "continue PPO updates from coverage feedback")
+		detect  = flag.Bool("detect", true, "differential mismatch detection")
+		seed    = flag.Int64("seed", 1, "random seed")
+		holes   = flag.Bool("holes", false, "print uncovered condition points at the end")
+	)
+	flag.Parse()
+
+	var dut rtl.DUT
+	switch *dutName {
+	case "rocket":
+		dut = rocket.New()
+	case "boom":
+		dut = boom.New()
+	default:
+		log.Fatalf("unknown DUT %q", *dutName)
+	}
+
+	cfg := core.DefaultPipelineConfig()
+	cfg.Seed = *seed
+	cfg.Log = os.Stdout
+	p := core.NewPipeline(cfg)
+	if *ckpt != "" {
+		if err := p.Model.LoadFile(*ckpt); err != nil {
+			log.Fatalf("loading checkpoint: %v", err)
+		}
+		fmt.Printf("loaded checkpoint %s\n", *ckpt)
+	} else {
+		fmt.Println("no checkpoint given: running the training pipeline first")
+		p.Pretrain()
+		p.Cleanup()
+		p.CoverageTune(dut)
+	}
+
+	gen := core.NewLLMGenerator(p, dut.Space().NumBins(), *online, *seed+1)
+	f := core.NewFuzzer(gen, dut, core.Options{BatchSize: *batch, Detect: *detect})
+
+	fmt.Printf("fuzzing %s for %d tests (batch %d, online=%v)\n", dut.Name(), *tests, *batch, *online)
+	lastReport := 0
+	for f.Tests < *tests {
+		f.RunBatch()
+		if f.Tests-lastReport >= 500 {
+			fmt.Printf("  %6d tests  %6.2f%% coverage  %6.2f virtual hours\n",
+				f.Tests, f.Coverage(), f.Clk.Hours())
+			lastReport = f.Tests
+		}
+	}
+
+	fmt.Printf("\nfinal: %.2f%% condition coverage after %d tests (%.2f virtual hours)\n",
+		f.Coverage(), f.Tests, f.Clk.Hours())
+	if *detect {
+		fmt.Println()
+		fmt.Print(f.Det.Report())
+	}
+	if *holes {
+		fmt.Println("\nuncovered condition points:")
+		for _, h := range f.Calc.Total().UncoveredPoints() {
+			fmt.Println("  " + h)
+		}
+	}
+}

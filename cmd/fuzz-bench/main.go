@@ -1,0 +1,75 @@
+// Command fuzz-bench regenerates every table and figure of the
+// paper's evaluation (DESIGN.md §5: experiments E1–E8 and ablations
+// A1–A3) at the chosen scale, printing paper-style rows next to the
+// paper's reported values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"chatfuzz/internal/exp"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper")
+		which     = flag.String("exp", "all", "comma list: fig2,budget,speedup,boom,findings,training,a1,a2,a3 or all")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scaleName {
+	case "quick":
+		sc = exp.Quick()
+	case "paper":
+		sc = exp.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	all := want["all"]
+
+	s := exp.NewSuite(sc, os.Stdout)
+
+	needRocket := all || want["fig2"] || want["budget"] || want["speedup"] ||
+		want["findings"] || want["a3"]
+	if needRocket {
+		s.RunRocketCampaigns()
+	}
+	if all || want["fig2"] {
+		s.Fig2(os.Stdout)
+	}
+	if all || want["budget"] {
+		s.EqualBudget(os.Stdout)
+	}
+	if all || want["speedup"] {
+		s.Speedup(os.Stdout)
+	}
+	if all || want["boom"] {
+		s.RunBoom(os.Stdout)
+	}
+	if all || want["findings"] {
+		s.FindingsReport(os.Stdout)
+	}
+	if all || want["training"] {
+		s.TrainingCurves(os.Stdout)
+	}
+	if all || want["a3"] {
+		s.RunBaselines(os.Stdout)
+	}
+	if all || want["a2"] {
+		s.AblationReward(os.Stdout, sc.TestsEqual/2)
+	}
+	if all || want["a1"] {
+		s.AblationNoCleanup(os.Stdout, sc.TestsEqual/2)
+	}
+	fmt.Println("\ndone.")
+}

@@ -1,0 +1,42 @@
+// Command riscv-dis disassembles 32-bit RISC-V instruction words given
+// as hex arguments or read from stdin (whitespace-separated), using
+// the same decoder that serves as ChatFuzz's step-2 reward agent.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chatfuzz/internal/isa"
+)
+
+func main() {
+	words := os.Args[1:]
+	if len(words) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Split(bufio.ScanWords)
+		for sc.Scan() {
+			words = append(words, sc.Text())
+		}
+	}
+	invalid := 0
+	for _, w := range words {
+		raw, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(w), "0x"), 16, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "riscv-dis: %q is not a 32-bit hex word\n", w)
+			os.Exit(2)
+		}
+		inst := isa.Decode(uint32(raw))
+		if !inst.Valid() {
+			invalid++
+		}
+		fmt.Printf("%08x  %s\n", raw, isa.DisassembleInst(inst))
+	}
+	if n := len(words); n > 0 {
+		fmt.Printf("# %d words, %d invalid  (Eq.1 reward f = N - 5*Invalid = %d)\n",
+			n, invalid, n-5*invalid)
+	}
+}

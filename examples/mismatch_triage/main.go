@@ -1,0 +1,96 @@
+// Mismatch triage: runs hand-written trigger programs for each of the
+// paper's findings through the Rocket model and the golden-model ISS,
+// then shows the Mismatch Detector's clustering and classification —
+// the paper's §V-B workflow in miniature (no ML involved).
+package main
+
+import (
+	"fmt"
+
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/mismatch"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl/rocket"
+)
+
+func main() {
+	det := mismatch.NewDetector()
+	dut := rocket.New()
+
+	triggers := []struct {
+		name string
+		body []uint32
+		data []uint32 // optional preload at DataBase+0x2000 (s0)
+	}{
+		{
+			name: "Bug2: mul/div writeback missing from trace",
+			body: []uint32{
+				isa.Enc(isa.OpMUL, isa.A2, isa.A5, isa.A5, 0),
+				isa.Enc(isa.OpDIV, isa.A3, isa.A4, isa.A3, 0),
+			},
+		},
+		{
+			name: "Finding1: exception priority (unmapped+misaligned)",
+			body: []uint32{
+				isa.Enc(isa.OpADDI, isa.TP, isa.TP, 0, 1),
+				isa.Enc(isa.OpLW, isa.A0, isa.TP, 0, 0),
+			},
+		},
+		{
+			name: "Finding2: AMO with rd=x0 in trace",
+			body: []uint32{
+				isa.Enc(isa.OpADDI, isa.T1, 0, 0, 7),
+				isa.Enc(isa.OpSD, 0, isa.A0, isa.T1, 0),
+				isa.EncAMO(isa.OpAMOORD, 0, isa.A0, isa.A5, false, false),
+			},
+		},
+		{
+			name: "Finding3: load to x0 in trace",
+			body: []uint32{
+				isa.Enc(isa.OpLD, 0, isa.A0, 0, 0),
+			},
+		},
+		{
+			name: "Bug1: self-modifying code without FENCE.I",
+			body: []uint32{
+				isa.Enc(isa.OpAUIPC, isa.A0, 0, 0, 0),
+				isa.Enc(isa.OpADDI, isa.A2, 0, 0, 0),
+				isa.Enc(isa.OpADDI, isa.A1, 0, 0, 1), // victim
+				isa.Enc(isa.OpLW, isa.T1, isa.S0, 0, 0),
+				isa.Enc(isa.OpSW, 0, isa.A0, isa.T1, 8),
+				isa.Enc(isa.OpADDI, isa.A2, isa.A2, 0, 1),
+				isa.Enc(isa.OpADDI, isa.T2, 0, 0, 2),
+				isa.Enc(isa.OpBLT, 0, isa.A2, isa.T2, -20),
+			},
+			data: []uint32{isa.Enc(isa.OpADDI, isa.A1, 0, 0, 2)}, // the patch word
+		},
+	}
+
+	for i, tr := range triggers {
+		fmt.Printf("=== %s ===\n", tr.name)
+		img, _ := prog.Build(prog.Program{Body: tr.body})
+		if tr.data != nil {
+			var seg mem.Image
+			seg.AddWords(mem.DataBase+0x2000, tr.data)
+			img.Segments = append(img.Segments, seg.Segments...)
+		}
+		budget := prog.InstructionBudget(len(tr.body))
+
+		res := dut.Run(img, budget)
+		m := mem.Platform()
+		m.Load(img)
+		g := iss.New(m, img.Entry)
+		golden := g.Run(budget)
+
+		for _, mm := range det.Analyze(i, res.Trace, golden) {
+			fmt.Printf("  mismatch [%s] -> %s\n", mm.Kind, mm.Finding)
+			fmt.Printf("    DUT:    %s\n", mm.DUT)
+			fmt.Printf("    golden: %s\n", mm.Golden)
+		}
+		fmt.Println()
+	}
+
+	fmt.Print(det.Report())
+}

@@ -1,0 +1,36 @@
+// Quickstart: train a small ChatFuzz pipeline, fuzz the Rocket model
+// for a few hundred tests, and print coverage plus detected findings.
+package main
+
+import (
+	"fmt"
+
+	"chatfuzz"
+)
+
+func main() {
+	// A deliberately tiny configuration so the example finishes in
+	// about a minute; see cmd/train-lm for full-scale training.
+	cfg := chatfuzz.DefaultPipelineConfig()
+	cfg.PretrainSteps = 80
+	cfg.CleanupSteps = 10
+	cfg.CoverageSteps = 0 // skip step 3 in the quickstart
+
+	fmt.Println("training the LLM-based input generator (steps 1-2)...")
+	p := chatfuzz.NewPipeline(cfg)
+	p.Pretrain()
+	p.Cleanup()
+	fmt.Printf("invalid-instruction rate: %.1f%%\n", 100*p.InvalidRate(20))
+
+	dut := chatfuzz.NewRocket()
+	gen := chatfuzz.NewLLMGenerator(p, dut.Space().NumBins(), true, 1)
+	f := chatfuzz.NewFuzzer(gen, dut, chatfuzz.Options{BatchSize: 16, Detect: true})
+
+	fmt.Println("fuzzing RocketCore for 320 tests...")
+	f.RunTests(320)
+
+	fmt.Printf("\ncondition coverage: %.2f%% after %d tests (%.1f virtual minutes)\n",
+		f.Coverage(), f.Tests, f.Clk.Hours()*60)
+	fmt.Println()
+	fmt.Print(f.Det.Report())
+}

@@ -1,0 +1,56 @@
+// Package randfuzz is the random-regression baseline: valid random
+// instructions with no feedback loop at all (or, in Raw mode, fully
+// random 32-bit words, which mostly decode as illegal — the weakest
+// possible generator and a useful ablation floor).
+package randfuzz
+
+import (
+	"math/rand"
+
+	"chatfuzz/internal/baseline/randinst"
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/prog"
+)
+
+// Gen is the random-regression generator.
+type Gen struct {
+	BodyInstrs int
+	// Raw switches to uniformly random 32-bit words instead of
+	// ISA-aware random instructions.
+	Raw bool
+
+	rng *rand.Rand
+}
+
+// New returns a random-regression generator.
+func New(seed int64, bodyInstrs int) *Gen {
+	return &Gen{BodyInstrs: bodyInstrs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements the Generator interface.
+func (g *Gen) Name() string {
+	if g.Raw {
+		return "random-raw"
+	}
+	return "random-regression"
+}
+
+// GenerateBatch implements Generator.
+func (g *Gen) GenerateBatch(n int) []prog.Program {
+	out := make([]prog.Program, n)
+	for i := range out {
+		if g.Raw {
+			body := make([]uint32, g.BodyInstrs)
+			for j := range body {
+				body[j] = g.rng.Uint32()
+			}
+			out[i] = prog.Program{Body: body}
+		} else {
+			out[i] = prog.Program{Body: randinst.Program(g.rng, g.BodyInstrs)}
+		}
+	}
+	return out
+}
+
+// Feedback implements Generator (random regression ignores feedback).
+func (g *Gen) Feedback([]cov.Scores) {}

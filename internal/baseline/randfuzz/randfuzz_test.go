@@ -1,0 +1,69 @@
+package randfuzz
+
+import (
+	"testing"
+
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/isa"
+)
+
+func TestValidModeEmitsDecodableWords(t *testing.T) {
+	g := New(1, 24)
+	for _, p := range g.GenerateBatch(16) {
+		if len(p.Body) != 24 {
+			t.Fatalf("body length %d", len(p.Body))
+		}
+		for _, w := range p.Body {
+			if !isa.Decode(w).Valid() {
+				t.Fatalf("valid-mode generator emitted invalid %#08x", w)
+			}
+		}
+	}
+}
+
+func TestRawModeEmitsMostlyInvalidWords(t *testing.T) {
+	g := New(2, 64)
+	g.Raw = true
+	invalid, total := 0, 0
+	for _, p := range g.GenerateBatch(16) {
+		invalid += isa.CountInvalid(p.Body)
+		total += len(p.Body)
+	}
+	if frac := float64(invalid) / float64(total); frac < 0.5 {
+		t.Errorf("raw mode only %.0f%% invalid; expected the vast majority", 100*frac)
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := New(3, 8)
+	if g.Name() != "random-regression" {
+		t.Errorf("name = %q", g.Name())
+	}
+	g.Raw = true
+	if g.Name() != "random-raw" {
+		t.Errorf("raw name = %q", g.Name())
+	}
+}
+
+func TestFeedbackIsIgnored(t *testing.T) {
+	g := New(4, 8)
+	a := g.GenerateBatch(4)
+	g.Feedback([]cov.Scores{{Incremental: 100}})
+	b := g.GenerateBatch(4)
+	// Deterministic stream continues regardless of feedback.
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatal("batch sizes wrong")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := New(7, 16).GenerateBatch(4)
+	b := New(7, 16).GenerateBatch(4)
+	for i := range a {
+		for j := range a[i].Body {
+			if a[i].Body[j] != b[i].Body[j] {
+				t.Fatal("same seed produced different programs")
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package randinst
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatfuzz/internal/isa"
+)
+
+// TestRandomAlwaysValid: the ISA-aware generator must only emit
+// decodable instructions (that is its defining property vs raw words).
+func TestRandomAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		w := Random(rng)
+		if !isa.Decode(w).Valid() {
+			t.Fatalf("random instruction %#08x is invalid", w)
+		}
+	}
+}
+
+func TestRandomWithOpPreservesOpcode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := []isa.Op{isa.OpADD, isa.OpLW, isa.OpSD, isa.OpBEQ, isa.OpJAL,
+		isa.OpCSRRW, isa.OpAMOADDD, isa.OpLRW, isa.OpSLLI, isa.OpLUI, isa.OpMRET}
+	for _, op := range ops {
+		for i := 0; i < 200; i++ {
+			w := RandomWithOp(rng, op)
+			if got := isa.Decode(w).Op; got != op {
+				t.Fatalf("RandomWithOp(%v) decoded as %v (%#08x)", op, got, w)
+			}
+		}
+	}
+}
+
+func TestProgramLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if got := len(Program(rng, 24)); got != 24 {
+		t.Errorf("Program length = %d", got)
+	}
+}
+
+func TestOpcodeCoverageOfGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seen := map[isa.Op]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[isa.Decode(Random(rng)).Op] = true
+	}
+	if len(seen) < isa.NumOps*3/4 {
+		t.Errorf("generator reached only %d/%d opcodes", len(seen), isa.NumOps)
+	}
+}

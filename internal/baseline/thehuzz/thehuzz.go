@@ -1,0 +1,174 @@
+// Package thehuzz reimplements the TheHuzz baseline (Kande et al.,
+// USENIX Security 2022) at the level the ChatFuzz paper compares
+// against: an ISA-aware seed generator plus a mutation engine
+// (bit/byte flipping, swapping, deleting, cloning, operand and opcode
+// mutation) guided by coverage feedback — inputs that achieve new
+// coverage points enter the seed pool and are mutated further.
+package thehuzz
+
+import (
+	"math/rand"
+	"sort"
+
+	"chatfuzz/internal/baseline/randinst"
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/prog"
+)
+
+// poolEntry is a saved interesting input.
+type poolEntry struct {
+	body  []uint32
+	score int // incremental coverage when first run
+	age   int
+}
+
+// Gen is the TheHuzz-style generator.
+type Gen struct {
+	// BodyInstrs is the instruction count per test (matched to
+	// ChatFuzz for the paper's "same number of instructions" setup).
+	BodyInstrs int
+	// SeedFrac is the fraction of each batch drawn as fresh seeds once
+	// the pool is non-empty.
+	SeedFrac float64
+	// PoolCap bounds the seed pool.
+	PoolCap int
+	// MutationsPerInput is the number of mutation operators applied to
+	// each pool entry when deriving a new input.
+	MutationsPerInput int
+
+	rng   *rand.Rand
+	pool  []poolEntry
+	last  []prog.Program
+	round int
+}
+
+// New returns a generator with the configuration used in the
+// evaluation.
+func New(seed int64, bodyInstrs int) *Gen {
+	return &Gen{
+		BodyInstrs:        bodyInstrs,
+		SeedFrac:          0.5,
+		PoolCap:           128,
+		MutationsPerInput: 3,
+		rng:               rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements the fuzzing loop's Generator interface.
+func (g *Gen) Name() string { return "thehuzz" }
+
+// GenerateBatch implements Generator.
+func (g *Gen) GenerateBatch(n int) []prog.Program {
+	out := make([]prog.Program, n)
+	for i := range out {
+		if len(g.pool) == 0 || g.rng.Float64() < g.SeedFrac {
+			out[i] = prog.Program{Body: randinst.Program(g.rng, g.BodyInstrs)}
+			continue
+		}
+		// Prefer higher-scoring pool entries (rank selection over the
+		// sorted pool's top half).
+		idx := g.rng.Intn((len(g.pool) + 1) / 2)
+		out[i] = prog.Program{Body: g.mutate(g.pool[idx].body)}
+	}
+	g.last = out
+	return out
+}
+
+// Feedback implements Generator: inputs that hit new coverage points
+// join the pool.
+func (g *Gen) Feedback(scores []cov.Scores) {
+	g.round++
+	if len(scores) != len(g.last) {
+		return
+	}
+	for i, sc := range scores {
+		if sc.Incremental > 0 {
+			body := make([]uint32, len(g.last[i].Body))
+			copy(body, g.last[i].Body)
+			g.pool = append(g.pool, poolEntry{body: body, score: sc.Incremental, age: g.round})
+		}
+	}
+	sort.SliceStable(g.pool, func(a, b int) bool {
+		if g.pool[a].score != g.pool[b].score {
+			return g.pool[a].score > g.pool[b].score
+		}
+		return g.pool[a].age > g.pool[b].age // prefer recent on ties
+	})
+	if len(g.pool) > g.PoolCap {
+		g.pool = g.pool[:g.PoolCap]
+	}
+}
+
+// PoolSize reports the current seed-pool occupancy.
+func (g *Gen) PoolSize() int { return len(g.pool) }
+
+// mutate derives a new body by applying MutationsPerInput random
+// mutation operators to a copy. The operator mix is validity-biased,
+// as in TheHuzz: most mutations stay at instruction granularity
+// (operand/opcode rewrites, swaps, clones, splices), with occasional
+// raw bit/byte flips.
+func (g *Gen) mutate(body []uint32) []uint32 {
+	out := make([]uint32, len(body))
+	copy(out, body)
+	for k := 0; k < g.MutationsPerInput; k++ {
+		if len(out) == 0 {
+			out = append(out, randinst.Random(g.rng))
+			continue
+		}
+		switch g.rng.Intn(10) {
+		case 0: // bit or byte flip (raw)
+			i := g.rng.Intn(len(out))
+			if g.rng.Intn(2) == 0 {
+				out[i] ^= 1 << uint(g.rng.Intn(32))
+			} else {
+				out[i] ^= 0xFF << uint(8*g.rng.Intn(4))
+			}
+		case 1: // operand mutation (keep the opcode)
+			i := g.rng.Intn(len(out))
+			if inst := isa.Decode(out[i]); inst.Valid() {
+				out[i] = randinst.RandomWithOp(g.rng, inst.Op)
+			} else {
+				out[i] = randinst.Random(g.rng)
+			}
+		case 2: // swap two instructions
+			i, j := g.rng.Intn(len(out)), g.rng.Intn(len(out))
+			out[i], out[j] = out[j], out[i]
+		case 3: // delete one instruction
+			if len(out) > 1 {
+				i := g.rng.Intn(len(out))
+				out = append(out[:i], out[i+1:]...)
+			}
+		case 4: // clone one instruction to another position
+			i, j := g.rng.Intn(len(out)), g.rng.Intn(len(out))
+			out[j] = out[i]
+		case 5, 6: // operand mutation (keep the opcode)
+			i := g.rng.Intn(len(out))
+			if inst := isa.Decode(out[i]); inst.Valid() {
+				out[i] = randinst.RandomWithOp(g.rng, inst.Op)
+			} else {
+				out[i] = randinst.Random(g.rng)
+			}
+		case 7, 8: // opcode mutation (fresh valid instruction)
+			i := g.rng.Intn(len(out))
+			out[i] = randinst.Random(g.rng)
+		case 9: // splice: crossover with another pool entry
+			if len(g.pool) > 0 {
+				other := g.pool[g.rng.Intn(len(g.pool))].body
+				if len(other) > 0 {
+					cut := g.rng.Intn(len(out))
+					keep := out[:cut]
+					tail := other[g.rng.Intn(len(other)):]
+					merged := append(append([]uint32{}, keep...), tail...)
+					if len(merged) > g.BodyInstrs*2 {
+						merged = merged[:g.BodyInstrs*2]
+					}
+					if len(merged) > 0 {
+						out = merged
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package thehuzz
+
+import (
+	"testing"
+
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/isa"
+)
+
+func TestSeedsBeforeFeedback(t *testing.T) {
+	g := New(1, 24)
+	progs := g.GenerateBatch(8)
+	if len(progs) != 8 {
+		t.Fatalf("batch = %d", len(progs))
+	}
+	for i, p := range progs {
+		if len(p.Body) != 24 {
+			t.Errorf("program %d length %d, want 24", i, len(p.Body))
+		}
+		for _, w := range p.Body {
+			if !isa.Decode(w).Valid() {
+				t.Errorf("fresh seed contains invalid word %#08x", w)
+			}
+		}
+	}
+}
+
+func TestFeedbackGrowsPool(t *testing.T) {
+	g := New(2, 16)
+	g.GenerateBatch(4)
+	scores := []cov.Scores{
+		{Incremental: 3}, {Incremental: 0}, {Incremental: 7}, {Incremental: 0},
+	}
+	g.Feedback(scores)
+	if g.PoolSize() != 2 {
+		t.Errorf("pool = %d, want 2 (only improving inputs)", g.PoolSize())
+	}
+}
+
+func TestPoolBounded(t *testing.T) {
+	g := New(3, 8)
+	g.PoolCap = 10
+	for round := 0; round < 30; round++ {
+		g.GenerateBatch(4)
+		g.Feedback([]cov.Scores{{Incremental: 1}, {Incremental: 2}, {Incremental: 3}, {Incremental: 4}})
+	}
+	if g.PoolSize() > 10 {
+		t.Errorf("pool %d exceeds cap", g.PoolSize())
+	}
+}
+
+func TestMutantsDeriveFromPool(t *testing.T) {
+	g := New(4, 16)
+	g.SeedFrac = 0 // force mutants once the pool is non-empty
+	g.GenerateBatch(2)
+	g.Feedback([]cov.Scores{{Incremental: 5}, {Incremental: 5}})
+	progs := g.GenerateBatch(16)
+	for _, p := range progs {
+		if len(p.Body) == 0 {
+			t.Error("mutant has empty body")
+		}
+	}
+}
+
+func TestFeedbackLengthMismatchIgnored(t *testing.T) {
+	g := New(5, 8)
+	g.GenerateBatch(4)
+	g.Feedback([]cov.Scores{{Incremental: 1}}) // wrong length: ignored
+	if g.PoolSize() != 0 {
+		t.Error("mismatched feedback must be ignored")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/mismatch"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/trace"
+	"chatfuzz/internal/vtime"
+)
+
+// ProgressPoint is one sample of the campaign's coverage trajectory
+// (the series behind Fig. 2).
+type ProgressPoint struct {
+	Tests    int
+	Hours    float64 // virtual wall-clock hours
+	Coverage float64 // cumulative condition coverage %
+}
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// BatchSize is the number of test inputs per fuzzing round (one
+	// "batch" in the paper's Coverage Calculator semantics).
+	BatchSize int
+	// Detect enables differential testing against the golden model.
+	Detect bool
+	// Clock, when nil, defaults to the calibrated VCS clock.
+	Clock *vtime.Clock
+	// Parallel bounds simulation workers (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// Fuzzer drives the paper's fuzzing loop (Fig. 1a): the generator
+// produces a batch, each entry runs on the DUT (coverage + trace) and
+// the golden model (trace), the Coverage Calculator scores entries,
+// the Mismatch Detector compares traces, and scores feed back to the
+// generator.
+type Fuzzer struct {
+	Gen  Generator
+	DUT  rtl.DUT
+	Calc *cov.Calculator
+	Det  *mismatch.Detector
+	Clk  *vtime.Clock
+
+	BatchSize int
+	Tests     int
+	Progress  []ProgressPoint
+
+	parallel int
+}
+
+// NewFuzzer assembles a campaign.
+func NewFuzzer(gen Generator, dut rtl.DUT, opts Options) *Fuzzer {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 16
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = vtime.NewVCS()
+	}
+	f := &Fuzzer{
+		Gen:       gen,
+		DUT:       dut,
+		Calc:      cov.NewCalculator(dut.Space()),
+		Clk:       clk,
+		BatchSize: opts.BatchSize,
+		parallel:  opts.Parallel,
+	}
+	if opts.Detect {
+		f.Det = mismatch.NewDetector()
+	}
+	return f
+}
+
+// Coverage returns the cumulative condition-coverage percentage.
+func (f *Fuzzer) Coverage() float64 { return f.Calc.Total().Percent() }
+
+// runOne simulates one program on the DUT (and the golden model when
+// detection is on).
+func (f *Fuzzer) runOne(p prog.Program) (rtl.Result, []trace.Entry) {
+	img, _ := prog.Build(p)
+	budget := prog.InstructionBudget(len(p.Body))
+	res := f.DUT.Run(img, budget)
+	var golden []trace.Entry
+	if f.Det != nil {
+		m := mem.Platform()
+		m.Load(img)
+		g := iss.New(m, img.Entry)
+		golden = g.Run(budget)
+	}
+	return res, golden
+}
+
+// RunBatch executes one fuzzing round and returns the per-entry
+// scores.
+func (f *Fuzzer) RunBatch() []cov.Scores {
+	progs := f.Gen.GenerateBatch(f.BatchSize)
+
+	type outcome struct {
+		res    rtl.Result
+		golden []trace.Entry
+	}
+	outs := make([]outcome, len(progs))
+
+	workers := f.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(progs) {
+		workers = len(progs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, golden := f.runOne(progs[i])
+				outs[i] = outcome{res, golden}
+			}
+		}()
+	}
+	for i := range progs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Deterministic, in-order accounting.
+	f.Calc.BeginBatch()
+	scores := make([]cov.Scores, len(progs))
+	for i, o := range outs {
+		scores[i] = f.Calc.Score(o.res.Coverage)
+		if f.Det != nil {
+			f.Det.Analyze(f.Tests, o.res.Trace, o.golden)
+		}
+		f.Clk.ChargeTest(o.res.Cycles)
+		f.Tests++
+		f.Progress = append(f.Progress, ProgressPoint{
+			Tests:    f.Tests,
+			Hours:    f.Clk.Hours(),
+			Coverage: scores[i].TotalPercent,
+		})
+	}
+	f.Gen.Feedback(scores)
+	return scores
+}
+
+// RunTests runs batches until n tests have executed.
+func (f *Fuzzer) RunTests(n int) {
+	for f.Tests < n {
+		f.RunBatch()
+	}
+}
+
+// RunVirtualHours runs until the virtual clock passes h hours or
+// maxTests tests have executed (a safety cap; 0 means no cap).
+func (f *Fuzzer) RunVirtualHours(h float64, maxTests int) {
+	for f.Clk.Hours() < h {
+		if maxTests > 0 && f.Tests >= maxTests {
+			return
+		}
+		f.RunBatch()
+	}
+}
+
+// CoverageAt interpolates the campaign's coverage at a virtual time,
+// for time-series reporting.
+func (f *Fuzzer) CoverageAt(hours float64) float64 {
+	last := 0.0
+	for _, pt := range f.Progress {
+		if pt.Hours > hours {
+			break
+		}
+		last = pt.Coverage
+	}
+	return last
+}
+
+// TimeToCoverage returns the virtual hours at which cumulative
+// coverage first reached pct, or -1 if never.
+func (f *Fuzzer) TimeToCoverage(pct float64) float64 {
+	for _, pt := range f.Progress {
+		if pt.Coverage >= pct {
+			return pt.Hours
+		}
+	}
+	return -1
+}
+
+// TestsToCoverage returns the test count at which coverage first
+// reached pct, or -1.
+func (f *Fuzzer) TestsToCoverage(pct float64) int {
+	for _, pt := range f.Progress {
+		if pt.Coverage >= pct {
+			return pt.Tests
+		}
+	}
+	return -1
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+
+	"chatfuzz/internal/corpus"
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/ml/nn"
+	"chatfuzz/internal/ml/ppo"
+	"chatfuzz/internal/ml/tok"
+	"chatfuzz/internal/prog"
+)
+
+func validWord(w uint32) bool { return isa.Decode(w).Valid() }
+
+// Generator produces batches of test programs for the fuzzing loop and
+// receives per-input coverage scores as feedback. Feedback always
+// refers to the most recent GenerateBatch call, in order.
+type Generator interface {
+	Name() string
+	GenerateBatch(n int) []prog.Program
+	Feedback(scores []cov.Scores)
+}
+
+// LLMGenerator is ChatFuzz's LLM-based Input Generator in the fuzzing
+// loop: it samples test vectors from the trained model and — when
+// Online is set — keeps improving the model from the Coverage
+// Calculator's scores, exactly as Fig. 1a's feedback arrow describes.
+type LLMGenerator struct {
+	Model  *nn.GPT
+	Tok    *tok.Tokenizer
+	Corpus *corpus.Corpus
+
+	// Online, when non-nil, applies PPO updates from fuzzing feedback.
+	Online *ppo.Trainer
+	// Weights shape the coverage reward for online updates.
+	Weights RewardWeights
+	// BodyInstrs bounds generation length (instructions).
+	BodyInstrs int
+	// Temperature/TopK shape exploration.
+	Temperature float64
+	TopK        int
+
+	rng       *rand.Rand
+	lastRolls []*ppo.Rollout
+	rollTest  []int // test index of each rollout chunk
+	binsTotal int
+}
+
+// NewLLMGenerator wires a trained pipeline into a fuzzing generator.
+// online enables continued PPO updates during fuzzing.
+func NewLLMGenerator(p *Pipeline, binsTotal int, online bool, seed int64) *LLMGenerator {
+	g := &LLMGenerator{
+		Model:       p.Model,
+		Tok:         p.Tok,
+		Corpus:      p.Corpus,
+		Weights:     p.Cfg.Weights,
+		BodyInstrs:  p.Cfg.BodyInstrs,
+		Temperature: 1.0,
+		TopK:        16, // cut the low-probability tail: fewer illegal parcel pairings
+		rng:         rand.New(rand.NewSource(seed)),
+		binsTotal:   binsTotal,
+	}
+	if online {
+		cfg := p.ppoConfig()
+		cfg.LR = 1e-4 // gentler than offline training: avoid drift over long campaigns
+		g.Online = ppo.NewTrainer(p.Model, cfg, g.rng)
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *LLMGenerator) Name() string { return "chatfuzz" }
+
+// GenerateBatch implements Generator. Each test vector is assembled
+// from one or more model generations: a corpus prompt is completed by
+// the model until EOS (one function-sized chunk), and chunks are
+// concatenated until the per-test instruction budget is reached — so
+// every generator in the evaluation spends the same number of
+// instructions per test, as the paper's comparison requires.
+func (g *LLMGenerator) GenerateBatch(n int) []prog.Program {
+	progs := make([]prog.Program, n)
+	g.lastRolls = g.lastRolls[:0]
+	g.rollTest = g.rollTest[:0]
+	for i := 0; i < n; i++ {
+		var body []uint32
+		for len(body) < g.BodyInstrs {
+			fn := g.Corpus.Functions[g.rng.Intn(len(g.Corpus.Functions))]
+			promptWords := corpus.Window(g.rng, fn)
+			promptToks := append([]int{tok.BOS}, g.Tok.EncodeBody(promptWords)...)
+			budget := 2 * (g.BodyInstrs - len(body))
+			res := g.Model.Generate(g.rng, promptToks, budget, g.Temperature, g.TopK, tok.EOS)
+			words := g.Tok.Decode(res.Tokens)
+			if len(words) == 0 {
+				break
+			}
+			if len(words) > g.BodyInstrs-len(body) {
+				words = words[:g.BodyInstrs-len(body)]
+			}
+			body = append(body, words...)
+			if len(res.LogProbs) > 0 {
+				g.lastRolls = append(g.lastRolls, ppo.FromGeneration(res, 0))
+				g.rollTest = append(g.rollTest, i)
+			}
+		}
+		progs[i] = prog.Program{Body: body}
+	}
+	return progs
+}
+
+// Feedback implements Generator: scores become PPO rewards when online
+// learning is enabled. Every generation chunk of a test inherits the
+// test's coverage reward.
+func (g *LLMGenerator) Feedback(scores []cov.Scores) {
+	if g.Online == nil {
+		return
+	}
+	rolls := make([]*ppo.Rollout, 0, len(g.lastRolls))
+	for k, r := range g.lastRolls {
+		ti := g.rollTest[k]
+		if ti >= len(scores) {
+			continue
+		}
+		r.Score = CoverageReward(scores[ti], g.binsTotal, g.Weights)
+		rolls = append(rolls, r)
+	}
+	g.Online.StepRollouts(rolls)
+}

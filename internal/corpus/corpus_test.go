@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/prog"
+)
+
+func TestEveryWordDecodesValid(t *testing.T) {
+	c := Generate(Config{Seed: 5, Functions: 500, MinLen: 12, MaxLen: 48})
+	for i, fn := range c.Functions {
+		for j, w := range fn {
+			if !isa.Decode(w).Valid() {
+				t.Fatalf("function %d word %d (%#08x) is not a valid instruction", i, j, w)
+			}
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Generate(Config{Seed: 9, Functions: 50, MinLen: 12, MaxLen: 30})
+	b := Generate(Config{Seed: 9, Functions: 50, MinLen: 12, MaxLen: 30})
+	if len(a.Functions) != len(b.Functions) {
+		t.Fatal("function counts differ")
+	}
+	for i := range a.Functions {
+		if len(a.Functions[i]) != len(b.Functions[i]) {
+			t.Fatalf("function %d length differs", i)
+		}
+		for j := range a.Functions[i] {
+			if a.Functions[i][j] != b.Functions[i][j] {
+				t.Fatalf("function %d word %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestFunctionShape(t *testing.T) {
+	c := Generate(Config{Seed: 3, Functions: 100, MinLen: 12, MaxLen: 48})
+	for i, fn := range c.Functions {
+		if len(fn) < 12 {
+			t.Errorf("function %d too short: %d", i, len(fn))
+		}
+		// Prologue: stack adjustment first.
+		first := isa.Decode(fn[0])
+		if first.Op != isa.OpADDI || first.Rd != isa.SP || first.Imm >= 0 {
+			t.Errorf("function %d does not start with a stack-frame prologue: %s",
+				i, isa.Disassemble(fn[0]))
+		}
+		// Epilogue: ends with ret.
+		last := isa.Decode(fn[len(fn)-1])
+		if last.Op != isa.OpJALR || last.Rd != 0 || last.Rs1 != isa.RA {
+			t.Errorf("function %d does not end with ret: %s", i, isa.Disassemble(fn[len(fn)-1]))
+		}
+	}
+}
+
+// TestInterdependence verifies the paper's core dataset property: a
+// large fraction of instructions consume a register produced by a
+// nearby earlier instruction.
+func TestInterdependence(t *testing.T) {
+	c := Generate(Config{Seed: 7, Functions: 200, MinLen: 16, MaxLen: 48})
+	dependent, total := 0, 0
+	for _, fn := range c.Functions {
+		var lastWriter [32]int // instruction index that last wrote each reg
+		for i := range lastWriter {
+			lastWriter[i] = -1
+		}
+		for idx, w := range fn {
+			inst := isa.Decode(w)
+			total++
+			const window = 6
+			uses := func(r isa.Reg) bool {
+				return r != 0 && lastWriter[r] >= 0 && idx-lastWriter[r] <= window
+			}
+			if uses(inst.Rs1) || uses(inst.Rs2) {
+				dependent++
+			}
+			if inst.WritesRd() && inst.Rd != 0 {
+				lastWriter[inst.Rd] = idx
+			}
+		}
+	}
+	frac := float64(dependent) / float64(total)
+	if frac < 0.5 {
+		t.Errorf("only %.1f%% of instructions are data-dependent within a 6-inst window; want >50%%", 100*frac)
+	}
+}
+
+// TestCorpusRunsOnGoldenModel executes corpus functions as fuzz bodies:
+// they must run to completion (the harness handles any traps) and
+// execute a meaningful number of instructions.
+func TestCorpusRunsOnGoldenModel(t *testing.T) {
+	c := Generate(Config{Seed: 11, Functions: 30, MinLen: 12, MaxLen: 48})
+	for i, fn := range c.Functions {
+		img, _ := prog.Build(prog.Program{Body: fn})
+		m := mem.Platform()
+		m.Load(img)
+		s := iss.New(m, img.Entry)
+		entries := s.Run(prog.InstructionBudget(len(fn)))
+		if len(entries) == 0 {
+			t.Fatalf("function %d executed nothing", i)
+		}
+	}
+}
+
+func TestInstructionsCount(t *testing.T) {
+	c := Generate(Config{Seed: 2, Functions: 100, MinLen: 12, MaxLen: 48})
+	n := c.Instructions()
+	if n < 100*12 {
+		t.Errorf("corpus too small: %d instructions", n)
+	}
+}
+
+func TestSampleAndPrompt(t *testing.T) {
+	c := Generate(Config{Seed: 4, Functions: 20, MinLen: 12, MaxLen: 24})
+	rng := rand.New(rand.NewSource(1))
+	fns := c.Sample(rng, 64)
+	if len(fns) != 64 {
+		t.Fatalf("Sample returned %d", len(fns))
+	}
+	for _, fn := range fns {
+		p := Prompt(rng, fn)
+		if len(p) < 2 || len(p) > 5 {
+			t.Errorf("prompt length %d outside the paper's 2..5", len(p))
+		}
+	}
+}
+
+func TestOpcodeDiversity(t *testing.T) {
+	c := Generate(Config{Seed: 6, Functions: 1000, MinLen: 12, MaxLen: 48})
+	seen := map[isa.Op]bool{}
+	for _, fn := range c.Functions {
+		for _, w := range fn {
+			seen[isa.Decode(w).Op] = true
+		}
+	}
+	// The synthetic compiler must cover the behavioural families the
+	// coverage model cares about.
+	for _, op := range []isa.Op{
+		isa.OpMUL, isa.OpDIV, isa.OpREMU, isa.OpLRD, isa.OpSCD, isa.OpAMOADDD,
+		isa.OpCSRRS, isa.OpCSRRW, isa.OpFENCE, isa.OpFENCEI, isa.OpJAL, isa.OpJALR,
+		isa.OpBNE, isa.OpLUI, isa.OpAUIPC, isa.OpECALL, isa.OpSD, isa.OpLBU,
+	} {
+		if !seen[op] {
+			t.Errorf("corpus never emits %v", op)
+		}
+	}
+	if len(seen) < 50 {
+		t.Errorf("only %d distinct opcodes in corpus; want broad diversity", len(seen))
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/ml/nn"
+)
+
+// tinyScale returns a configuration small enough for unit tests while
+// exercising the whole suite plumbing.
+func tinyScale() Scale {
+	cfg := core.DefaultPipelineConfig()
+	cfg.Corpus.Functions = 200
+	cfg.Model = nn.Config{Ctx: 48, Dim: 32, Heads: 2, Layers: 1}
+	cfg.MaxVocab = 512
+	cfg.PretrainSteps = 40
+	cfg.CleanupSteps = 4
+	cfg.CoverageSteps = 2
+	cfg.CoverageBatch = 4
+	return Scale{
+		Name:       "tiny",
+		Train:      cfg,
+		BatchSize:  8,
+		TestsEqual: 64,
+		TestsLarge: 128,
+		BoomTests:  64,
+		Online:     false,
+	}
+}
+
+func TestSuiteEndToEnd(t *testing.T) {
+	var log bytes.Buffer
+	s := NewSuite(tinyScale(), &log)
+	s.RunRocketCampaigns()
+
+	if s.ChatFuzz.Tests < 128 || s.TheHuzz.Tests < 128 {
+		t.Fatalf("campaigns too short: %d / %d", s.ChatFuzz.Tests, s.TheHuzz.Tests)
+	}
+	if s.ChatFuzz.Final <= 0 || s.TheHuzz.Final <= 0 {
+		t.Fatal("campaigns recorded no coverage")
+	}
+
+	var out bytes.Buffer
+	s.Fig2(&out)
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Error("Fig2 output missing header")
+	}
+
+	out.Reset()
+	chatEq, huzzEq, chatLg, huzzLg := s.EqualBudget(&out)
+	if chatEq <= 0 || huzzEq <= 0 || chatLg < chatEq || huzzLg < huzzEq {
+		t.Errorf("budget table inconsistent: %v %v %v %v", chatEq, huzzEq, chatLg, huzzLg)
+	}
+
+	out.Reset()
+	s.Speedup(&out)
+	if !strings.Contains(out.String(), "speedup") {
+		t.Errorf("speedup output: %q", out.String())
+	}
+
+	out.Reset()
+	s.FindingsReport(&out)
+	if !strings.Contains(out.String(), "mismatch detection") {
+		t.Error("findings report missing")
+	}
+
+	out.Reset()
+	s.TrainingCurves(&out)
+	if !strings.Contains(out.String(), "Eq. 1") {
+		t.Error("training curves missing")
+	}
+}
+
+func TestCampaignQueries(t *testing.T) {
+	c := Campaign{Progress: []core.ProgressPoint{
+		{Tests: 10, Hours: 0.1, Coverage: 30},
+		{Tests: 20, Hours: 0.2, Coverage: 50},
+		{Tests: 30, Hours: 0.3, Coverage: 60},
+	}}
+	if got := c.At(25); got != 50 {
+		t.Errorf("At(25) = %v, want 50", got)
+	}
+	if got := c.HoursTo(55); got != 0.3 {
+		t.Errorf("HoursTo(55) = %v, want 0.3", got)
+	}
+	if got := c.HoursTo(99); got != -1 {
+		t.Errorf("HoursTo(99) = %v, want -1", got)
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	q, p := Quick(), Paper()
+	if p.TestsLarge <= q.TestsLarge || p.Train.Corpus.Functions <= q.Train.Corpus.Functions {
+		t.Error("paper scale must exceed quick scale")
+	}
+	if q.TestsEqual <= 0 || q.BoomTests <= 0 {
+		t.Error("quick scale has zero budgets")
+	}
+}
+
+func TestCoverageAtHours(t *testing.T) {
+	c := Campaign{Progress: []core.ProgressPoint{
+		{Hours: 0.1, Coverage: 10},
+		{Hours: 0.5, Coverage: 40},
+	}}
+	if got := coverageAtHours(c, 0.3); got != 10 {
+		t.Errorf("coverageAtHours(0.3) = %v", got)
+	}
+	if got := coverageAtHours(c, 1.0); got != 40 {
+		t.Errorf("coverageAtHours(1.0) = %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+package hart
+
+import (
+	"testing"
+
+	"chatfuzz/internal/isa"
+)
+
+func TestMStatusRoundtrip(t *testing.T) {
+	var c CSRFile
+	c.SetMStatus(isa.MStatusMIE | isa.MStatusMPIE | uint64(isa.PrivM)<<isa.MStatusMPPShift)
+	if !c.MIEBit || !c.MPIE || c.MPP != isa.PrivM {
+		t.Errorf("decomposed fields wrong: %+v", c)
+	}
+	v := c.MStatus()
+	if v&isa.MStatusMIE == 0 || v&isa.MStatusMPIE == 0 {
+		t.Errorf("composed mstatus %#x missing bits", v)
+	}
+}
+
+func TestMPPIsWARL(t *testing.T) {
+	var c CSRFile
+	// Writing the unimplemented S-mode (01) must clamp to M.
+	c.SetMStatus(1 << isa.MStatusMPPShift)
+	if c.MPP != isa.PrivM {
+		t.Errorf("MPP = %v, want clamp to M", c.MPP)
+	}
+	c.SetMStatus(0)
+	if c.MPP != isa.PrivU {
+		t.Errorf("MPP = %v, want U", c.MPP)
+	}
+}
+
+func TestPrivilegeGating(t *testing.T) {
+	var c CSRFile
+	if _, ok := c.Read(isa.CSRMScratch, isa.PrivU); ok {
+		t.Error("U-mode read of mscratch must fail")
+	}
+	if _, ok := c.Read(isa.CSRMScratch, isa.PrivM); !ok {
+		t.Error("M-mode read of mscratch must succeed")
+	}
+	if _, ok := c.Read(isa.CSRCycle, isa.PrivU); !ok {
+		t.Error("U-mode read of the user cycle counter must succeed")
+	}
+}
+
+func TestMEPCAlignmentMask(t *testing.T) {
+	var c CSRFile
+	c.Write(isa.CSRMEPC, 0x80000007)
+	if c.MEPC != 0x80000004 {
+		t.Errorf("mepc = %#x, want IALIGN=32 masking to 0x80000004", c.MEPC)
+	}
+}
+
+func TestTrapAndMRetSequence(t *testing.T) {
+	var c CSRFile
+	c.MTVec = 0x8000_0100
+	c.MIEBit = true
+
+	pc, priv := c.TakeTrap(0x8000_2000, isa.ExcIllegalInstruction, 0xBAD, isa.PrivU)
+	if pc != 0x8000_0100 || priv != isa.PrivM {
+		t.Fatalf("trap entry -> pc=%#x priv=%v", pc, priv)
+	}
+	if c.MEPC != 0x8000_2000 || c.MCause != isa.ExcIllegalInstruction || c.MTVal != 0xBAD {
+		t.Errorf("trap CSRs wrong: %+v", c)
+	}
+	if c.MIEBit || !c.MPIE || c.MPP != isa.PrivU {
+		t.Errorf("mstatus trap update wrong: %+v", c)
+	}
+
+	pc, priv = c.MRet()
+	if pc != 0x8000_2000 || priv != isa.PrivU {
+		t.Errorf("mret -> pc=%#x priv=%v, want return to U at mepc", pc, priv)
+	}
+	if !c.MIEBit || !c.MPIE || c.MPP != isa.PrivU {
+		t.Errorf("mstatus mret update wrong: %+v", c)
+	}
+}
+
+func TestReadOnlyCSRs(t *testing.T) {
+	var c CSRFile
+	if c.Write(isa.CSRMHartID, 5) {
+		t.Error("mhartid write must be rejected")
+	}
+	if c.Write(isa.CSRCycle, 5) {
+		t.Error("user cycle write must be rejected")
+	}
+	if !c.Write(isa.CSRMCycle, 5) {
+		t.Error("mcycle write must be accepted")
+	}
+	if v, _ := c.Read(isa.CSRMCycle, isa.PrivM); v != 5 {
+		t.Errorf("mcycle = %d after write", v)
+	}
+}
+
+func TestExecCSRWriteSuppression(t *testing.T) {
+	var c CSRFile
+	c.MScratch = 0xFF
+	// csrrs rd, mscratch, x0 is a pure read: no write, even to RO CSRs.
+	inst := isa.Decode(isa.EncCSR(isa.OpCSRRS, isa.A0, 0, isa.CSRMHartID))
+	if _, ok := c.ExecCSR(inst, 0, isa.PrivM); !ok {
+		t.Error("csrrs x0 on read-only CSR must be legal")
+	}
+	// csrrw always writes: illegal on RO.
+	inst = isa.Decode(isa.EncCSR(isa.OpCSRRW, isa.A0, isa.A1, isa.CSRMHartID))
+	if _, ok := c.ExecCSR(inst, 1, isa.PrivM); ok {
+		t.Error("csrrw on read-only CSR must be illegal")
+	}
+	// csrrci with zimm=0: no write.
+	inst = isa.Decode(isa.EncCSR(isa.OpCSRRCI, isa.A0, 0, isa.CSRMHartID))
+	if _, ok := c.ExecCSR(inst, 0, isa.PrivM); !ok {
+		t.Error("csrrci zimm=0 on read-only CSR must be legal")
+	}
+	// Read-modify-write on mscratch.
+	inst = isa.Decode(isa.EncCSR(isa.OpCSRRS, isa.A0, isa.A1, isa.CSRMScratch))
+	old, ok := c.ExecCSR(inst, 0x0F, isa.PrivM)
+	if !ok || old != 0xFF || c.MScratch != 0xFF {
+		t.Errorf("csrrs rmw: old=%#x mscratch=%#x ok=%v", old, c.MScratch, ok)
+	}
+}
+
+func TestMISAValue(t *testing.T) {
+	v, ok := (&CSRFile{}).Read(isa.CSRMISA, isa.PrivM)
+	if !ok {
+		t.Fatal("misa unreadable")
+	}
+	if v>>62 != 2 {
+		t.Error("MXL must be 2 (RV64)")
+	}
+	for _, ext := range []byte{'i', 'm', 'a', 'u'} {
+		if v&(1<<(ext-'a')) == 0 {
+			t.Errorf("misa missing extension %c", ext)
+		}
+	}
+}

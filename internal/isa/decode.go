@@ -1,0 +1,316 @@
+package isa
+
+// Field extraction helpers. The RISC-V immediate encodings scatter bits
+// across the word; each helper reassembles and sign-extends one format.
+
+func field(raw uint32, hi, lo uint) uint32 { return (raw >> lo) & (1<<(hi-lo+1) - 1) }
+
+func signExtend(v uint64, bit uint) int64 {
+	shift := 63 - bit
+	return int64(v<<shift) >> shift
+}
+
+func immI(raw uint32) int64 { return signExtend(uint64(field(raw, 31, 20)), 11) }
+
+func immS(raw uint32) int64 {
+	v := field(raw, 31, 25)<<5 | field(raw, 11, 7)
+	return signExtend(uint64(v), 11)
+}
+
+func immB(raw uint32) int64 {
+	v := field(raw, 31, 31)<<12 | field(raw, 7, 7)<<11 | field(raw, 30, 25)<<5 | field(raw, 11, 8)<<1
+	return signExtend(uint64(v), 12)
+}
+
+func immU(raw uint32) int64 { return int64(int32(raw & 0xFFFFF000)) }
+
+func immJ(raw uint32) int64 {
+	v := field(raw, 31, 31)<<20 | field(raw, 19, 12)<<12 | field(raw, 20, 20)<<11 | field(raw, 30, 21)<<1
+	return signExtend(uint64(v), 20)
+}
+
+func rdOf(raw uint32) Reg  { return Reg(field(raw, 11, 7)) }
+func rs1Of(raw uint32) Reg { return Reg(field(raw, 19, 15)) }
+func rs2Of(raw uint32) Reg { return Reg(field(raw, 24, 20)) }
+
+// Decode decodes a 32-bit instruction word. Encodings outside the
+// implemented RV64IMA+Zicsr+Zifencei subset (including the compressed
+// 16-bit space) decode to an Inst with Op == OpIllegal.
+func Decode(raw uint32) Inst {
+	inst := Inst{Raw: raw}
+	if raw&0x3 != 0x3 {
+		return inst // compressed or reserved encoding space
+	}
+	opcode := raw & 0x7F
+	f3 := field(raw, 14, 12)
+	f7 := field(raw, 31, 25)
+
+	switch opcode {
+	case 0x37: // LUI
+		inst.Op, inst.Rd, inst.Imm = OpLUI, rdOf(raw), immU(raw)
+	case 0x17: // AUIPC
+		inst.Op, inst.Rd, inst.Imm = OpAUIPC, rdOf(raw), immU(raw)
+	case 0x6F: // JAL
+		inst.Op, inst.Rd, inst.Imm = OpJAL, rdOf(raw), immJ(raw)
+	case 0x67: // JALR
+		if f3 != 0 {
+			return inst
+		}
+		inst.Op, inst.Rd, inst.Rs1, inst.Imm = OpJALR, rdOf(raw), rs1Of(raw), immI(raw)
+	case 0x63: // branches
+		var op Op
+		switch f3 {
+		case 0:
+			op = OpBEQ
+		case 1:
+			op = OpBNE
+		case 4:
+			op = OpBLT
+		case 5:
+			op = OpBGE
+		case 6:
+			op = OpBLTU
+		case 7:
+			op = OpBGEU
+		default:
+			return inst
+		}
+		inst.Op, inst.Rs1, inst.Rs2, inst.Imm = op, rs1Of(raw), rs2Of(raw), immB(raw)
+	case 0x03: // loads
+		var op Op
+		switch f3 {
+		case 0:
+			op = OpLB
+		case 1:
+			op = OpLH
+		case 2:
+			op = OpLW
+		case 3:
+			op = OpLD
+		case 4:
+			op = OpLBU
+		case 5:
+			op = OpLHU
+		case 6:
+			op = OpLWU
+		default:
+			return inst
+		}
+		inst.Op, inst.Rd, inst.Rs1, inst.Imm = op, rdOf(raw), rs1Of(raw), immI(raw)
+	case 0x23: // stores
+		var op Op
+		switch f3 {
+		case 0:
+			op = OpSB
+		case 1:
+			op = OpSH
+		case 2:
+			op = OpSW
+		case 3:
+			op = OpSD
+		default:
+			return inst
+		}
+		inst.Op, inst.Rs1, inst.Rs2, inst.Imm = op, rs1Of(raw), rs2Of(raw), immS(raw)
+	case 0x13: // OP-IMM
+		inst.Rd, inst.Rs1 = rdOf(raw), rs1Of(raw)
+		switch f3 {
+		case 0:
+			inst.Op, inst.Imm = OpADDI, immI(raw)
+		case 2:
+			inst.Op, inst.Imm = OpSLTI, immI(raw)
+		case 3:
+			inst.Op, inst.Imm = OpSLTIU, immI(raw)
+		case 4:
+			inst.Op, inst.Imm = OpXORI, immI(raw)
+		case 6:
+			inst.Op, inst.Imm = OpORI, immI(raw)
+		case 7:
+			inst.Op, inst.Imm = OpANDI, immI(raw)
+		case 1: // SLLI, 6-bit shamt on RV64
+			if f7>>1 != 0 {
+				return Inst{Raw: raw}
+			}
+			inst.Op, inst.Imm = OpSLLI, int64(field(raw, 25, 20))
+		case 5: // SRLI / SRAI
+			switch f7 >> 1 {
+			case 0x00:
+				inst.Op, inst.Imm = OpSRLI, int64(field(raw, 25, 20))
+			case 0x10:
+				inst.Op, inst.Imm = OpSRAI, int64(field(raw, 25, 20))
+			default:
+				return Inst{Raw: raw}
+			}
+		}
+	case 0x1B: // OP-IMM-32
+		inst.Rd, inst.Rs1 = rdOf(raw), rs1Of(raw)
+		switch f3 {
+		case 0:
+			inst.Op, inst.Imm = OpADDIW, immI(raw)
+		case 1:
+			if f7 != 0 {
+				return Inst{Raw: raw}
+			}
+			inst.Op, inst.Imm = OpSLLIW, int64(field(raw, 24, 20))
+		case 5:
+			switch f7 {
+			case 0x00:
+				inst.Op, inst.Imm = OpSRLIW, int64(field(raw, 24, 20))
+			case 0x20:
+				inst.Op, inst.Imm = OpSRAIW, int64(field(raw, 24, 20))
+			default:
+				return Inst{Raw: raw}
+			}
+		default:
+			return inst
+		}
+	case 0x33: // OP
+		inst.Rd, inst.Rs1, inst.Rs2 = rdOf(raw), rs1Of(raw), rs2Of(raw)
+		var op Op
+		switch f7 {
+		case 0x00:
+			op = [8]Op{OpADD, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpOR, OpAND}[f3]
+		case 0x20:
+			switch f3 {
+			case 0:
+				op = OpSUB
+			case 5:
+				op = OpSRA
+			default:
+				return Inst{Raw: raw}
+			}
+		case 0x01:
+			op = [8]Op{OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}[f3]
+		default:
+			return Inst{Raw: raw}
+		}
+		inst.Op = op
+	case 0x3B: // OP-32
+		inst.Rd, inst.Rs1, inst.Rs2 = rdOf(raw), rs1Of(raw), rs2Of(raw)
+		switch f7 {
+		case 0x00:
+			switch f3 {
+			case 0:
+				inst.Op = OpADDW
+			case 1:
+				inst.Op = OpSLLW
+			case 5:
+				inst.Op = OpSRLW
+			default:
+				return Inst{Raw: raw}
+			}
+		case 0x20:
+			switch f3 {
+			case 0:
+				inst.Op = OpSUBW
+			case 5:
+				inst.Op = OpSRAW
+			default:
+				return Inst{Raw: raw}
+			}
+		case 0x01:
+			switch f3 {
+			case 0:
+				inst.Op = OpMULW
+			case 4:
+				inst.Op = OpDIVW
+			case 5:
+				inst.Op = OpDIVUW
+			case 6:
+				inst.Op = OpREMW
+			case 7:
+				inst.Op = OpREMUW
+			default:
+				return Inst{Raw: raw}
+			}
+		default:
+			return Inst{Raw: raw}
+		}
+	case 0x0F: // MISC-MEM
+		switch f3 {
+		case 0:
+			inst.Op = OpFENCE
+			inst.Imm = int64(field(raw, 31, 20)) // pred/succ/fm kept as raw imm
+		case 1:
+			if field(raw, 31, 20) != 0 || rdOf(raw) != 0 || rs1Of(raw) != 0 {
+				return inst
+			}
+			inst.Op = OpFENCEI
+		default:
+			return inst
+		}
+	case 0x73: // SYSTEM
+		switch f3 {
+		case 0:
+			if rdOf(raw) != 0 || rs1Of(raw) != 0 {
+				return inst
+			}
+			switch field(raw, 31, 20) {
+			case 0x000:
+				inst.Op = OpECALL
+			case 0x001:
+				inst.Op = OpEBREAK
+			case 0x302:
+				inst.Op = OpMRET
+			case 0x105:
+				inst.Op = OpWFI
+			default:
+				return inst
+			}
+		case 1, 2, 3:
+			inst.Op = [4]Op{0, OpCSRRW, OpCSRRS, OpCSRRC}[f3]
+			inst.Rd, inst.Rs1, inst.CSR = rdOf(raw), rs1Of(raw), uint16(field(raw, 31, 20))
+		case 5, 6, 7:
+			inst.Op = [8]Op{0, 0, 0, 0, 0, OpCSRRWI, OpCSRRSI, OpCSRRCI}[f3]
+			inst.Rd, inst.CSR = rdOf(raw), uint16(field(raw, 31, 20))
+			inst.Imm = int64(field(raw, 19, 15)) // zimm
+		default:
+			return inst
+		}
+	case 0x2F: // AMO
+		if f3 != 2 && f3 != 3 {
+			return inst
+		}
+		word := f3 == 2
+		f5 := field(raw, 31, 27)
+		var opW, opD Op
+		switch f5 {
+		case 0x02:
+			if rs2Of(raw) != 0 {
+				return inst
+			}
+			opW, opD = OpLRW, OpLRD
+		case 0x03:
+			opW, opD = OpSCW, OpSCD
+		case 0x01:
+			opW, opD = OpAMOSWAPW, OpAMOSWAPD
+		case 0x00:
+			opW, opD = OpAMOADDW, OpAMOADDD
+		case 0x04:
+			opW, opD = OpAMOXORW, OpAMOXORD
+		case 0x0C:
+			opW, opD = OpAMOANDW, OpAMOANDD
+		case 0x08:
+			opW, opD = OpAMOORW, OpAMOORD
+		case 0x10:
+			opW, opD = OpAMOMINW, OpAMOMIND
+		case 0x14:
+			opW, opD = OpAMOMAXW, OpAMOMAXD
+		case 0x18:
+			opW, opD = OpAMOMINUW, OpAMOMINUD
+		case 0x1C:
+			opW, opD = OpAMOMAXUW, OpAMOMAXUD
+		default:
+			return inst
+		}
+		if word {
+			inst.Op = opW
+		} else {
+			inst.Op = opD
+		}
+		inst.Rd, inst.Rs1, inst.Rs2 = rdOf(raw), rs1Of(raw), rs2Of(raw)
+		inst.Aq = field(raw, 26, 26) == 1
+		inst.Rl = field(raw, 25, 25) == 1
+	}
+	return inst
+}

@@ -1,0 +1,274 @@
+package isa
+
+import "math/bits"
+
+// Pure datapath semantics shared by the golden-model ISS and the DUT
+// core models. Keeping these in one place guarantees that the only
+// architectural divergences between ISS and DUT are the deliberately
+// injected findings, never accidental datapath drift.
+
+func sext32(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+
+// ALU computes the result of any ClassALU or ClassMul/ClassDiv opcode
+// given its two source operands (for immediate forms, pass the
+// immediate as b). Opcodes that do not produce a pure function of two
+// operands (loads, branches, CSR, AMO, LUI/AUIPC/JAL/JALR) are not
+// handled here.
+func ALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpADD, OpADDI:
+		return a + b
+	case OpSUB:
+		return a - b
+	case OpSLL, OpSLLI:
+		return a << (b & 63)
+	case OpSLT, OpSLTI:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSLTU, OpSLTIU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpXOR, OpXORI:
+		return a ^ b
+	case OpSRL, OpSRLI:
+		return a >> (b & 63)
+	case OpSRA, OpSRAI:
+		return uint64(int64(a) >> (b & 63))
+	case OpOR, OpORI:
+		return a | b
+	case OpAND, OpANDI:
+		return a & b
+	case OpADDW, OpADDIW:
+		return sext32(a + b)
+	case OpSUBW:
+		return sext32(a - b)
+	case OpSLLW, OpSLLIW:
+		return sext32(a << (b & 31))
+	case OpSRLW, OpSRLIW:
+		return sext32(uint64(uint32(a) >> (b & 31)))
+	case OpSRAW, OpSRAIW:
+		return sext32(uint64(int32(uint32(a)) >> (b & 31)))
+
+	case OpMUL:
+		return a * b
+	case OpMULH:
+		hi, _ := bits.Mul64(a, b)
+		if int64(a) < 0 {
+			hi -= b
+		}
+		if int64(b) < 0 {
+			hi -= a
+		}
+		return hi
+	case OpMULHSU:
+		hi, _ := bits.Mul64(a, b)
+		if int64(a) < 0 {
+			hi -= b
+		}
+		return hi
+	case OpMULHU:
+		hi, _ := bits.Mul64(a, b)
+		return hi
+	case OpMULW:
+		return sext32(uint64(uint32(a) * uint32(b)))
+	case OpDIV:
+		return uint64(divSigned(int64(a), int64(b)))
+	case OpDIVU:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case OpREM:
+		return uint64(remSigned(int64(a), int64(b)))
+	case OpREMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case OpDIVW:
+		return uint64(int64(int32(divSigned32(int32(uint32(a)), int32(uint32(b))))))
+	case OpDIVUW:
+		if uint32(b) == 0 {
+			return ^uint64(0)
+		}
+		return sext32(uint64(uint32(a) / uint32(b)))
+	case OpREMW:
+		return uint64(int64(int32(remSigned32(int32(uint32(a)), int32(uint32(b))))))
+	case OpREMUW:
+		if uint32(b) == 0 {
+			return sext32(a)
+		}
+		return sext32(uint64(uint32(a) % uint32(b)))
+	}
+	panic("isa: ALU called with non-ALU op " + op.String())
+}
+
+const minInt64 = -1 << 63
+
+func divSigned(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return -1
+	case a == minInt64 && b == -1:
+		return minInt64 // overflow per spec
+	default:
+		return a / b
+	}
+}
+
+func remSigned(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == minInt64 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+const minInt32 = -1 << 31
+
+func divSigned32(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == minInt32 && b == -1:
+		return minInt32
+	default:
+		return a / b
+	}
+}
+
+func remSigned32(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == minInt32 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+// BranchTaken evaluates the condition of a ClassBranch opcode.
+func BranchTaken(op Op, a, b uint64) bool {
+	switch op {
+	case OpBEQ:
+		return a == b
+	case OpBNE:
+		return a != b
+	case OpBLT:
+		return int64(a) < int64(b)
+	case OpBGE:
+		return int64(a) >= int64(b)
+	case OpBLTU:
+		return a < b
+	case OpBGEU:
+		return a >= b
+	}
+	panic("isa: BranchTaken called with non-branch op " + op.String())
+}
+
+// AMOApply computes the new memory value for an AMO opcode given the
+// old memory value and the rs2 operand. For .W variants both operands
+// are interpreted as 32-bit values and the result is a 32-bit value
+// (zero-extended here; the memory write is 32 bits wide).
+func AMOApply(op Op, old, src uint64) uint64 {
+	switch op {
+	case OpAMOSWAPD:
+		return src
+	case OpAMOADDD:
+		return old + src
+	case OpAMOXORD:
+		return old ^ src
+	case OpAMOANDD:
+		return old & src
+	case OpAMOORD:
+		return old | src
+	case OpAMOMIND:
+		if int64(old) < int64(src) {
+			return old
+		}
+		return src
+	case OpAMOMAXD:
+		if int64(old) > int64(src) {
+			return old
+		}
+		return src
+	case OpAMOMINUD:
+		if old < src {
+			return old
+		}
+		return src
+	case OpAMOMAXUD:
+		if old > src {
+			return old
+		}
+		return src
+
+	case OpAMOSWAPW:
+		return uint64(uint32(src))
+	case OpAMOADDW:
+		return uint64(uint32(old) + uint32(src))
+	case OpAMOXORW:
+		return uint64(uint32(old) ^ uint32(src))
+	case OpAMOANDW:
+		return uint64(uint32(old) & uint32(src))
+	case OpAMOORW:
+		return uint64(uint32(old) | uint32(src))
+	case OpAMOMINW:
+		if int32(uint32(old)) < int32(uint32(src)) {
+			return uint64(uint32(old))
+		}
+		return uint64(uint32(src))
+	case OpAMOMAXW:
+		if int32(uint32(old)) > int32(uint32(src)) {
+			return uint64(uint32(old))
+		}
+		return uint64(uint32(src))
+	case OpAMOMINUW:
+		if uint32(old) < uint32(src) {
+			return uint64(uint32(old))
+		}
+		return uint64(uint32(src))
+	case OpAMOMAXUW:
+		if uint32(old) > uint32(src) {
+			return uint64(uint32(old))
+		}
+		return uint64(uint32(src))
+	}
+	panic("isa: AMOApply called with non-AMO op " + op.String())
+}
+
+// MemWidth returns the access width in bytes of a load, store, or AMO
+// opcode, and whether a load result is sign-extended.
+func MemWidth(op Op) (bytes int, signed bool) {
+	switch op {
+	case OpLB:
+		return 1, true
+	case OpLBU, OpSB:
+		return 1, false
+	case OpLH:
+		return 2, true
+	case OpLHU, OpSH:
+		return 2, false
+	case OpLW:
+		return 4, true
+	case OpLWU, OpSW:
+		return 4, false
+	case OpLD, OpSD:
+		return 8, true
+	}
+	if op.Is(ClassAMO) {
+		if op.Is(ClassW) {
+			return 4, true
+		}
+		return 8, true
+	}
+	panic("isa: MemWidth called with non-memory op " + op.String())
+}

@@ -1,0 +1,154 @@
+// Package mem provides the sparse physical memory shared by the
+// golden-model ISS and the DUT core models, plus the loadable image
+// format produced by the program builder.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Range describes one mapped physical region. Accesses outside every
+// mapped range raise access faults in the simulators, which is the main
+// organic source of load/store access-fault coverage during fuzzing.
+type Range struct {
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether [addr, addr+size) lies inside the range.
+func (r Range) Contains(addr uint64, size int) bool {
+	return addr >= r.Base && addr+uint64(size) <= r.Base+r.Size && addr+uint64(size) >= addr
+}
+
+// Memory is a little-endian sparse physical memory. The zero value is
+// unusable; construct with New.
+type Memory struct {
+	pages  map[uint64][]byte
+	ranges []Range
+}
+
+// New returns a memory with the given mapped ranges.
+func New(ranges ...Range) *Memory {
+	rs := make([]Range, len(ranges))
+	copy(rs, ranges)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Base < rs[j].Base })
+	return &Memory{pages: make(map[uint64][]byte), ranges: rs}
+}
+
+// Ranges returns the mapped ranges in ascending base order.
+func (m *Memory) Ranges() []Range { return m.ranges }
+
+// Mapped reports whether the whole access [addr, addr+size) targets
+// mapped memory.
+func (m *Memory) Mapped(addr uint64, size int) bool {
+	for _, r := range m.ranges {
+		if r.Contains(addr, size) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Memory) page(addr uint64) []byte {
+	key := addr >> pageBits
+	p, ok := m.pages[key]
+	if !ok {
+		p = make([]byte, pageSize)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte without a mapping check (callers check first).
+func (m *Memory) LoadByte(addr uint64) byte {
+	if p, ok := m.pages[addr>>pageBits]; ok {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// StoreByte writes one byte without a mapping check.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr)[addr&(pageSize-1)] = v
+}
+
+// ReadUint reads a little-endian value of 1, 2, 4 or 8 bytes.
+func (m *Memory) ReadUint(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// WriteUint writes a little-endian value of 1, 2, 4 or 8 bytes.
+func (m *Memory) WriteUint(addr uint64, v uint64, size int) {
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadWord reads a 32-bit instruction word.
+func (m *Memory) ReadWord(addr uint64) uint32 { return uint32(m.ReadUint(addr, 4)) }
+
+// Segment is one contiguous chunk of an Image.
+type Segment struct {
+	Base uint64
+	Data []byte
+}
+
+// Image is a loadable program: segments plus the entry PC. It is the
+// unit the fuzzers hand to both simulators.
+type Image struct {
+	Entry    uint64
+	Segments []Segment
+}
+
+// AddWords appends a segment built from little-endian 32-bit words.
+func (img *Image) AddWords(base uint64, words []uint32) {
+	data := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(data[4*i:], w)
+	}
+	img.Segments = append(img.Segments, Segment{Base: base, Data: data})
+}
+
+// Load copies every segment of the image into memory. It panics if a
+// segment falls outside the mapped ranges: images are produced by the
+// program builder, so that is a programming error, not a fuzz finding.
+func (m *Memory) Load(img Image) {
+	for _, seg := range img.Segments {
+		if len(seg.Data) > 0 && !m.Mapped(seg.Base, len(seg.Data)) {
+			panic(fmt.Sprintf("mem: segment [%#x, +%d) outside mapped ranges", seg.Base, len(seg.Data)))
+		}
+		for i, b := range seg.Data {
+			m.StoreByte(seg.Base+uint64(i), b)
+		}
+	}
+}
+
+// Standard memory map of the simulated platform. Text and data are
+// ordinary RAM (so self-modifying code is possible, which Bug1 needs);
+// Tohost is the riscv-tests-style termination device: an 8-byte store
+// of a non-zero value there ends the test on both simulators.
+const (
+	TextBase = 0x8000_0000
+	TextSize = 0x0010_0000 // 1 MiB
+	DataBase = 0x8010_0000
+	DataSize = 0x0010_0000 // 1 MiB
+	Tohost   = 0x8020_0000
+)
+
+// Platform returns a memory with the standard map.
+func Platform() *Memory {
+	return New(
+		Range{Base: TextBase, Size: TextSize},
+		Range{Base: DataBase, Size: DataSize},
+		Range{Base: Tohost, Size: 8},
+	)
+}

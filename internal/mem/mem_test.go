@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMappedRanges(t *testing.T) {
+	m := Platform()
+	cases := []struct {
+		addr uint64
+		size int
+		want bool
+	}{
+		{TextBase, 4, true},
+		{TextBase + TextSize - 4, 4, true},
+		{TextBase + TextSize - 3, 4, false},
+		{TextBase - 1, 1, false},
+		{DataBase, 8, true},
+		{Tohost, 8, true},
+		{Tohost + 1, 8, false},
+		{0, 1, false},
+		{^uint64(0), 8, false}, // overflow must not wrap into a range
+	}
+	for _, c := range cases {
+		if got := m.Mapped(c.addr, c.size); got != c.want {
+			t.Errorf("Mapped(%#x, %d) = %v, want %v", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	m := Platform()
+	f := func(off uint32, v uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		addr := DataBase + uint64(off%(DataSize-8))
+		m.WriteUint(addr, v, size)
+		got := m.ReadUint(addr, size)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return got == v&mask
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := Platform()
+	m.WriteUint(DataBase, 0x0102030405060708, 8)
+	if b := m.LoadByte(DataBase); b != 0x08 {
+		t.Errorf("little-endian low byte = %#x, want 0x08", b)
+	}
+	if w := m.ReadWord(DataBase + 4); w != 0x01020304 {
+		t.Errorf("high word = %#x, want 0x01020304", w)
+	}
+}
+
+func TestUnwrittenMemoryReadsZero(t *testing.T) {
+	m := Platform()
+	if v := m.ReadUint(DataBase+0x1234, 8); v != 0 {
+		t.Errorf("fresh memory = %#x, want 0", v)
+	}
+}
+
+func TestImageLoad(t *testing.T) {
+	m := Platform()
+	var img Image
+	img.AddWords(TextBase, []uint32{0x11223344, 0xAABBCCDD})
+	m.Load(img)
+	if w := m.ReadWord(TextBase); w != 0x11223344 {
+		t.Errorf("word 0 = %#x", w)
+	}
+	if w := m.ReadWord(TextBase + 4); w != 0xAABBCCDD {
+		t.Errorf("word 1 = %#x", w)
+	}
+}
+
+func TestImageLoadOutsideRangesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Load outside mapped ranges should panic")
+		}
+	}()
+	m := Platform()
+	var img Image
+	img.AddWords(0x1000, []uint32{1})
+	m.Load(img)
+}
+
+func TestPageBoundaryStraddle(t *testing.T) {
+	m := Platform()
+	addr := uint64(DataBase + pageSize - 3) // straddles a page boundary
+	m.WriteUint(addr, 0xDEADBEEFCAFEF00D, 8)
+	if got := m.ReadUint(addr, 8); got != 0xDEADBEEFCAFEF00D {
+		t.Errorf("straddling rw = %#x", got)
+	}
+}

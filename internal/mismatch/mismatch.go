@@ -1,0 +1,364 @@
+// Package mismatch implements the paper's Mismatch Detector (§IV-A):
+// differential comparison of the DUT commit trace against the golden
+// model's, filtration of known false positives (e.g. reads of the
+// cycle/time CSRs, which legitimately differ between an ISS and RTL),
+// automated clustering of raw mismatches into unique signatures, and
+// classification of signatures into the known findings (Bug1, Bug2,
+// Findings 1–3).
+package mismatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/trace"
+)
+
+// Kind is the category of a single trace divergence.
+type Kind int
+
+// Divergence kinds, ordered roughly by diagnostic precision.
+const (
+	KindNone        Kind = iota
+	KindStaleFetch       // same PC, different instruction word (I$ incoherence)
+	KindRdWrite          // one trace reports a register write, the other does not
+	KindRdValue          // both report the write, values differ
+	KindCause            // both trap, cause differs
+	KindTrap             // one traps, the other does not
+	KindMemEffect        // memory address/write flag differs
+	KindControlFlow      // PC differs: alignment lost
+	KindLength           // one trace ended early
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStaleFetch:
+		return "stale-fetch"
+	case KindRdWrite:
+		return "rd-write-presence"
+	case KindRdValue:
+		return "rd-value"
+	case KindCause:
+		return "trap-cause"
+	case KindTrap:
+		return "trap-presence"
+	case KindMemEffect:
+		return "mem-effect"
+	case KindControlFlow:
+		return "control-flow"
+	case KindLength:
+		return "trace-length"
+	}
+	return "none"
+}
+
+// Finding identifies a classified root cause.
+type Finding int
+
+// The paper's findings plus the unknown/false-positive buckets.
+const (
+	FindingUnknown Finding = iota
+	FindingBug1            // FENCE.I / I-cache coherency (CWE-1202)
+	FindingBug2            // tracer omits MUL/DIV writeback (CWE-440)
+	Finding1               // exception priority inversion
+	Finding2               // AMO with rd=x0 visible in trace
+	Finding3               // load to x0 visible in trace
+	FindingFalsePositive   // filtered (e.g. cycle CSR reads)
+)
+
+// String returns the paper's name for the finding.
+func (f Finding) String() string {
+	switch f {
+	case FindingBug1:
+		return "Bug1: FENCE.I cache coherency (CWE-1202)"
+	case FindingBug2:
+		return "Bug2: tracer omits MUL/DIV rd write (CWE-440)"
+	case Finding1:
+		return "Finding1: exception priority inversion"
+	case Finding2:
+		return "Finding2: AMO with rd=x0 in trace"
+	case Finding3:
+		return "Finding3: trace write to x0"
+	case FindingFalsePositive:
+		return "false positive (filtered)"
+	}
+	return "unknown"
+}
+
+// Mismatch is one raw divergence between aligned trace entries.
+type Mismatch struct {
+	Test      int // test index, assigned by the caller
+	Index     int // entry index within the trace
+	Kind      Kind
+	DUT       trace.Entry
+	Golden    trace.Entry
+	Signature string
+	Finding   Finding
+	Filtered  bool
+}
+
+// Filter flags a divergence as a known false positive. Verification
+// engineers add filters to suppress expected ISS-vs-RTL differences
+// (paper §IV-A).
+type Filter func(dut, golden trace.Entry) bool
+
+// CycleCSRFilter suppresses rd-value differences on reads of the
+// cycle, time and mcycle CSRs: the ISS counts instructions while the
+// DUT counts real cycles, so these legitimately differ.
+func CycleCSRFilter(dut, golden trace.Entry) bool {
+	if !golden.Op.Is(isa.ClassCSR) {
+		return false
+	}
+	inst := isa.Decode(golden.Raw)
+	switch inst.CSR {
+	case isa.CSRCycle, isa.CSRTime, isa.CSRMCycle:
+		return true
+	}
+	return false
+}
+
+// Record aggregates all raw mismatches sharing one signature.
+type Record struct {
+	Signature string
+	Kind      Kind
+	Finding   Finding
+	Count     int
+	Filtered  bool
+	Example   Mismatch
+}
+
+// Detector accumulates differential results across a fuzzing campaign.
+type Detector struct {
+	filters []Filter
+	unique  map[string]*Record
+
+	Tests        int
+	RawCount     int
+	FilteredRaw  int
+}
+
+// NewDetector returns a detector with the default filter set.
+func NewDetector(filters ...Filter) *Detector {
+	if len(filters) == 0 {
+		filters = []Filter{CycleCSRFilter}
+	}
+	return &Detector{filters: filters, unique: make(map[string]*Record)}
+}
+
+// signature builds the clustering key: mismatches with the same kind,
+// opcode, and cause/register fingerprint are instances of the same
+// underlying issue.
+func signature(k Kind, dut, golden trace.Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s", k, golden.Op)
+	switch k {
+	case KindCause:
+		fmt.Fprintf(&b, "|%d-vs-%d", dut.Cause, golden.Cause)
+	case KindRdWrite:
+		fmt.Fprintf(&b, "|dut=%v,x%d", dut.RdValid, dut.Rd)
+	case KindTrap:
+		fmt.Fprintf(&b, "|dut=%v", dut.Trap)
+	case KindStaleFetch, KindControlFlow, KindLength, KindRdValue, KindMemEffect:
+		// opcode-level signature is enough
+	}
+	return b.String()
+}
+
+// classify maps a divergence onto the known findings.
+func classify(k Kind, dut, golden trace.Entry) Finding {
+	op := golden.Op
+	switch k {
+	case KindStaleFetch:
+		return FindingBug1
+	case KindRdWrite:
+		switch {
+		case golden.RdValid && !dut.RdValid && op.IsAny(isa.ClassMul|isa.ClassDiv):
+			return FindingBug2
+		case dut.RdValid && dut.Rd == 0 && op.Is(isa.ClassAMO):
+			return Finding2
+		case dut.RdValid && dut.Rd == 0 && op.Is(isa.ClassLoad):
+			return Finding3
+		}
+	case KindCause:
+		mis := func(c uint64) bool {
+			return c == isa.ExcLoadAddrMisaligned || c == isa.ExcStoreAddrMisaligned
+		}
+		acc := func(c uint64) bool {
+			return c == isa.ExcLoadAccessFault || c == isa.ExcStoreAccessFault
+		}
+		if acc(dut.Cause) && mis(golden.Cause) {
+			return Finding1
+		}
+	}
+	return FindingUnknown
+}
+
+// diffKind determines how two aligned entries diverge.
+func diffKind(d, g trace.Entry) Kind {
+	switch {
+	case d == g:
+		return KindNone
+	case d.PC != g.PC:
+		return KindControlFlow
+	case d.Raw != g.Raw:
+		return KindStaleFetch
+	case d.Trap != g.Trap:
+		return KindTrap
+	case d.Trap && d.Cause != g.Cause:
+		return KindCause
+	case d.RdValid != g.RdValid:
+		return KindRdWrite
+	case d.RdValid && (d.Rd != g.Rd || d.RdVal != g.RdVal):
+		return KindRdValue
+	case d.MemValid != g.MemValid || d.MemAddr != g.MemAddr || d.MemWrite != g.MemWrite:
+		return KindMemEffect
+	default:
+		return KindRdValue // tval/priv and other field drift
+	}
+}
+
+// Analyze compares one test's DUT and golden traces, records every raw
+// divergence up to the point where instruction alignment is lost, and
+// returns them. Once a filtered (false-positive) divergence occurs,
+// the remainder of the test is tainted: downstream divergences are
+// cascades of the filtered difference and are filtered too.
+func (d *Detector) Analyze(test int, dut, golden []trace.Entry) []Mismatch {
+	d.Tests++
+	var out []Mismatch
+	tainted := false
+
+	n := len(dut)
+	if len(golden) < n {
+		n = len(golden)
+	}
+	for i := 0; i < n; i++ {
+		k := diffKind(dut[i], golden[i])
+		if k == KindNone {
+			continue
+		}
+		filtered := tainted
+		if !filtered {
+			for _, f := range d.filters {
+				if f(dut[i], golden[i]) {
+					filtered = true
+					tainted = true
+					break
+				}
+			}
+		}
+		m := Mismatch{
+			Test: test, Index: i, Kind: k,
+			DUT: dut[i], Golden: golden[i],
+			Filtered: filtered,
+		}
+		m.Signature = signature(k, dut[i], golden[i])
+		if filtered {
+			m.Finding = FindingFalsePositive
+		} else {
+			m.Finding = classify(k, dut[i], golden[i])
+		}
+		out = append(out, m)
+		d.record(m)
+		// Alignment is lost after control-flow or stale-fetch
+		// divergence: stop comparing this test.
+		if k == KindControlFlow || k == KindStaleFetch {
+			break
+		}
+	}
+	if len(out) == 0 && len(dut) != len(golden) {
+		m := Mismatch{Test: test, Index: n, Kind: KindLength, Filtered: tainted}
+		if n > 0 {
+			m.DUT, m.Golden = dut[n-1], golden[n-1]
+		}
+		m.Signature = "trace-length"
+		if tainted {
+			m.Finding = FindingFalsePositive
+		}
+		out = append(out, m)
+		d.record(m)
+	}
+	return out
+}
+
+func (d *Detector) record(m Mismatch) {
+	d.RawCount++
+	if m.Filtered {
+		d.FilteredRaw++
+	}
+	r, ok := d.unique[m.Signature]
+	if !ok {
+		r = &Record{Signature: m.Signature, Kind: m.Kind, Finding: m.Finding,
+			Filtered: m.Filtered, Example: m}
+		d.unique[m.Signature] = r
+	}
+	r.Count++
+	// A non-filtered instance upgrades a previously filtered record.
+	if !m.Filtered && r.Filtered {
+		r.Filtered = false
+		r.Finding = m.Finding
+		r.Example = m
+	}
+}
+
+// Unique returns the clustered mismatch records, most frequent first.
+func (d *Detector) Unique() []*Record {
+	out := make([]*Record, 0, len(d.unique))
+	for _, r := range d.unique {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}
+
+// Findings returns the set of classified findings that have at least
+// one non-filtered record.
+func (d *Detector) Findings() map[Finding]int {
+	out := make(map[Finding]int)
+	for _, r := range d.unique {
+		if !r.Filtered && r.Finding != FindingUnknown {
+			out[r.Finding] += r.Count
+		}
+	}
+	return out
+}
+
+// Report renders the campaign summary in the shape of the paper's
+// §V-B: raw disparities, unique mismatches after automated filtration,
+// and the classified findings.
+func (d *Detector) Report() string {
+	var b strings.Builder
+	uniq := d.Unique()
+	nonFiltered := 0
+	for _, r := range uniq {
+		if !r.Filtered {
+			nonFiltered++
+		}
+	}
+	fmt.Fprintf(&b, "mismatch detection over %d tests\n", d.Tests)
+	fmt.Fprintf(&b, "  raw mismatches:        %d (%d filtered as false positives)\n",
+		d.RawCount, d.FilteredRaw)
+	fmt.Fprintf(&b, "  unique signatures:     %d (%d after filtration)\n", len(uniq), nonFiltered)
+	fmt.Fprintf(&b, "  classified findings:\n")
+	for f := FindingBug1; f <= Finding3; f++ {
+		n := 0
+		for _, r := range uniq {
+			if r.Finding == f && !r.Filtered {
+				n += r.Count
+			}
+		}
+		mark := " "
+		if n > 0 {
+			mark = "x"
+		}
+		fmt.Fprintf(&b, "    [%s] %-48s %6d instances\n", mark, f, n)
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package mismatch
+
+import (
+	"strings"
+	"testing"
+
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl/rocket"
+	"chatfuzz/internal/trace"
+)
+
+func entry(pc uint64, op isa.Op, raw uint32) trace.Entry {
+	return trace.Entry{PC: pc, Op: op, Raw: raw, Priv: isa.PrivM}
+}
+
+func TestNoMismatchOnIdenticalTraces(t *testing.T) {
+	d := NewDetector()
+	tr := []trace.Entry{entry(0x100, isa.OpADDI, 0x13), entry(0x104, isa.OpADD, 0x33)}
+	ms := d.Analyze(0, tr, tr)
+	if len(ms) != 0 || d.RawCount != 0 {
+		t.Errorf("identical traces produced %d mismatches", len(ms))
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	g := entry(0x100, isa.OpMUL, 0x02B50533)
+	g.RdValid, g.Rd, g.RdVal = true, isa.A0, 42
+	dut := entry(0x100, isa.OpMUL, 0x02B50533) // no rd write: Bug2
+
+	d := NewDetector()
+	ms := d.Analyze(0, []trace.Entry{dut}, []trace.Entry{g})
+	if len(ms) != 1 {
+		t.Fatalf("want 1 mismatch, got %d", len(ms))
+	}
+	if ms[0].Kind != KindRdWrite {
+		t.Errorf("kind = %v, want rd-write-presence", ms[0].Kind)
+	}
+	if ms[0].Finding != FindingBug2 {
+		t.Errorf("finding = %v, want Bug2", ms[0].Finding)
+	}
+}
+
+func TestFinding1Classification(t *testing.T) {
+	g := entry(0x100, isa.OpLW, 0)
+	g.Trap, g.Cause = true, isa.ExcLoadAddrMisaligned
+	dut := entry(0x100, isa.OpLW, 0)
+	dut.Trap, dut.Cause = true, isa.ExcLoadAccessFault
+
+	d := NewDetector()
+	ms := d.Analyze(0, []trace.Entry{dut}, []trace.Entry{g})
+	if ms[0].Kind != KindCause || ms[0].Finding != Finding1 {
+		t.Errorf("got kind=%v finding=%v", ms[0].Kind, ms[0].Finding)
+	}
+}
+
+func TestStaleFetchStopsComparison(t *testing.T) {
+	g1 := entry(0x100, isa.OpADDI, 0x00100093)
+	d1 := entry(0x100, isa.OpADDI, 0x00200093) // different word fetched
+	g2 := entry(0x104, isa.OpADD, 0x33)
+	d2 := entry(0x200, isa.OpSUB, 0x44) // nonsense afterwards
+
+	d := NewDetector()
+	ms := d.Analyze(0, []trace.Entry{d1, d2}, []trace.Entry{g1, g2})
+	if len(ms) != 1 {
+		t.Fatalf("comparison must stop after stale fetch; got %d mismatches", len(ms))
+	}
+	if ms[0].Kind != KindStaleFetch || ms[0].Finding != FindingBug1 {
+		t.Errorf("got %v/%v, want stale-fetch/Bug1", ms[0].Kind, ms[0].Finding)
+	}
+}
+
+func TestCycleCSRFilterAndTaint(t *testing.T) {
+	raw := isa.EncCSR(isa.OpCSRRS, isa.A0, 0, isa.CSRMCycle)
+	g1 := entry(0x100, isa.OpCSRRS, raw)
+	g1.RdValid, g1.Rd, g1.RdVal = true, isa.A0, 10
+	d1 := g1
+	d1.RdVal = 99 // cycle counts differ: expected
+
+	g2 := entry(0x104, isa.OpADDI, 0x13)
+	g2.RdValid, g2.Rd, g2.RdVal = true, isa.A1, 11
+	d2 := g2
+	d2.RdVal = 100 // cascade of the filtered divergence
+
+	d := NewDetector()
+	ms := d.Analyze(0, []trace.Entry{d1, d2}, []trace.Entry{g1, g2})
+	if len(ms) != 2 {
+		t.Fatalf("want 2 raw mismatches, got %d", len(ms))
+	}
+	for i, m := range ms {
+		if !m.Filtered || m.Finding != FindingFalsePositive {
+			t.Errorf("mismatch %d should be filtered (taint), got %+v", i, m.Finding)
+		}
+	}
+	if d.FilteredRaw != 2 {
+		t.Errorf("FilteredRaw = %d, want 2", d.FilteredRaw)
+	}
+}
+
+func TestUniqueClustering(t *testing.T) {
+	d := NewDetector()
+	// Ten instances of the same Bug2 signature across tests.
+	for i := 0; i < 10; i++ {
+		g := entry(uint64(0x100+4*i), isa.OpMUL, 0x02B50533)
+		g.RdValid, g.Rd, g.RdVal = true, isa.A0, uint64(i)
+		dut := g
+		dut.RdValid, dut.Rd, dut.RdVal = false, 0, 0
+		d.Analyze(i, []trace.Entry{dut}, []trace.Entry{g})
+	}
+	uniq := d.Unique()
+	if len(uniq) != 1 {
+		t.Fatalf("want 1 unique signature, got %d", len(uniq))
+	}
+	if uniq[0].Count != 10 {
+		t.Errorf("count = %d, want 10", uniq[0].Count)
+	}
+	if d.RawCount != 10 {
+		t.Errorf("raw = %d, want 10", d.RawCount)
+	}
+}
+
+func TestTraceLengthMismatch(t *testing.T) {
+	d := NewDetector()
+	g := []trace.Entry{entry(0x100, isa.OpADDI, 0x13), entry(0x104, isa.OpADDI, 0x13)}
+	ms := d.Analyze(0, g[:1], g)
+	if len(ms) != 1 || ms[0].Kind != KindLength {
+		t.Fatalf("want trace-length mismatch, got %+v", ms)
+	}
+}
+
+// End-to-end: run the Rocket model and the golden ISS on bodies that
+// trigger each finding, and verify the detector reports them all.
+func TestEndToEndFindingDetection(t *testing.T) {
+	d := NewDetector()
+	r := rocket.New()
+
+	bodies := map[string][]uint32{
+		"bug2": {
+			isa.Enc(isa.OpMUL, isa.A2, isa.A5, isa.A5, 0),
+		},
+		"finding1": {
+			isa.Enc(isa.OpADDI, isa.TP, isa.TP, 0, 1),
+			isa.Enc(isa.OpLW, isa.A0, isa.TP, 0, 0),
+		},
+		"finding2": {
+			isa.EncAMO(isa.OpAMOORD, 0, isa.A0, isa.A5, false, false),
+		},
+		"finding3": {
+			isa.Enc(isa.OpLD, 0, isa.A0, 0, 0),
+		},
+		"bug1": {
+			// Execute victim, patch it in place, loop back over it.
+			isa.Enc(isa.OpAUIPC, isa.A0, 0, 0, 0),
+			isa.Enc(isa.OpADDI, isa.A2, 0, 0, 0),
+			isa.Enc(isa.OpADDI, isa.A1, 0, 0, 1), // victim @ +8
+			isa.Enc(isa.OpLW, isa.T1, isa.S0, 0, 0),
+			isa.Enc(isa.OpSW, 0, isa.A0, isa.T1, 8),
+			isa.Enc(isa.OpADDI, isa.A2, isa.A2, 0, 1),
+			isa.Enc(isa.OpADDI, isa.T2, 0, 0, 2),
+			isa.Enc(isa.OpBLT, 0, isa.A2, isa.T2, -20),
+		},
+	}
+
+	testID := 0
+	for name, body := range bodies {
+		img, _ := prog.Build(prog.Program{Body: body})
+		if name == "bug1" {
+			var seg mem.Image
+			seg.AddWords(mem.DataBase+0x2000, []uint32{isa.Enc(isa.OpADDI, isa.A1, 0, 0, 2)})
+			img.Segments = append(img.Segments, seg.Segments...)
+		}
+		budget := prog.InstructionBudget(len(body))
+		res := r.Run(img, budget)
+		m := mem.Platform()
+		m.Load(img)
+		g := iss.New(m, img.Entry)
+		gt := g.Run(budget)
+		d.Analyze(testID, res.Trace, gt)
+		testID++
+	}
+
+	found := d.Findings()
+	for _, f := range []Finding{FindingBug1, FindingBug2, Finding1, Finding2, Finding3} {
+		if found[f] == 0 {
+			t.Errorf("finding %v not detected end-to-end", f)
+		}
+	}
+	rep := d.Report()
+	for _, want := range []string{"Bug1", "Bug2", "Finding1", "Finding2", "Finding3"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %s:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package nn implements the GPT-2-style language model of ChatFuzz's
+// LLM-based Input Generator, with a PPO value head, an Adam optimizer,
+// and a KV-cached incremental sampler for fast generation inside the
+// fuzzing loop.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"chatfuzz/internal/ml/tensor"
+)
+
+// Config sizes the transformer.
+type Config struct {
+	Vocab  int // token vocabulary size
+	Ctx    int // maximum sequence length
+	Dim    int // embedding width
+	Heads  int // attention heads
+	Layers int // transformer blocks
+}
+
+// DefaultConfig is the laptop-scale model used by the fuzzing loop;
+// the paper's GPT-2 is orders of magnitude larger, but the pipeline
+// (tokenise → pretrain → PPO cleanup → PPO coverage) is identical.
+func DefaultConfig(vocab int) Config {
+	return Config{Vocab: vocab, Ctx: 96, Dim: 96, Heads: 4, Layers: 2}
+}
+
+// Block holds one transformer block's parameters.
+type Block struct {
+	LN1g, LN1b   *tensor.Tensor
+	Wqkv, Bqkv   *tensor.Tensor // [D,3D], [1,3D]
+	Wproj, Bproj *tensor.Tensor // [D,D], [1,D]
+	LN2g, LN2b   *tensor.Tensor
+	Wfc, Bfc     *tensor.Tensor // [D,4D], [1,4D]
+	Wout, Bout   *tensor.Tensor // [4D,D], [1,D]
+}
+
+// GPT is the language model with an additional scalar value head used
+// during PPO training.
+type GPT struct {
+	Cfg    Config
+	TokEmb *tensor.Tensor // [V,D]
+	PosEmb *tensor.Tensor // [Ctx,D]
+	Blocks []*Block
+	LNfg   *tensor.Tensor
+	LNfb   *tensor.Tensor
+	Head   *tensor.Tensor // [D,V]
+	VHead  *tensor.Tensor // [D,1]
+	VBias  *tensor.Tensor // [1,1]
+}
+
+func randInit(rng *rand.Rand, t *tensor.Tensor, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+func ones(t *tensor.Tensor) {
+	for i := range t.Data {
+		t.Data[i] = 1
+	}
+}
+
+// NewGPT builds a randomly initialised model (N(0, 0.02) like GPT-2).
+func NewGPT(cfg Config, rng *rand.Rand) *GPT {
+	d := cfg.Dim
+	m := &GPT{Cfg: cfg}
+	m.TokEmb = tensor.Param(cfg.Vocab, d)
+	randInit(rng, m.TokEmb, 0.02)
+	m.PosEmb = tensor.Param(cfg.Ctx, d)
+	randInit(rng, m.PosEmb, 0.02)
+	for l := 0; l < cfg.Layers; l++ {
+		b := &Block{
+			LN1g: tensor.Param(1, d), LN1b: tensor.Param(1, d),
+			Wqkv: tensor.Param(d, 3*d), Bqkv: tensor.Param(1, 3*d),
+			Wproj: tensor.Param(d, d), Bproj: tensor.Param(1, d),
+			LN2g: tensor.Param(1, d), LN2b: tensor.Param(1, d),
+			Wfc: tensor.Param(d, 4*d), Bfc: tensor.Param(1, 4*d),
+			Wout: tensor.Param(4*d, d), Bout: tensor.Param(1, d),
+		}
+		ones(b.LN1g)
+		ones(b.LN2g)
+		randInit(rng, b.Wqkv, 0.02)
+		randInit(rng, b.Wproj, 0.02/math.Sqrt(float64(2*cfg.Layers)))
+		randInit(rng, b.Wfc, 0.02)
+		randInit(rng, b.Wout, 0.02/math.Sqrt(float64(2*cfg.Layers)))
+		m.Blocks = append(m.Blocks, b)
+	}
+	m.LNfg = tensor.Param(1, d)
+	ones(m.LNfg)
+	m.LNfb = tensor.Param(1, d)
+	m.Head = tensor.Param(d, cfg.Vocab)
+	randInit(rng, m.Head, 0.02)
+	m.VHead = tensor.Param(d, 1)
+	randInit(rng, m.VHead, 0.02)
+	m.VBias = tensor.Param(1, 1)
+	return m
+}
+
+// Params returns every trainable tensor (value head included).
+func (m *GPT) Params() []*tensor.Tensor {
+	out := []*tensor.Tensor{m.TokEmb, m.PosEmb}
+	for _, b := range m.Blocks {
+		out = append(out, b.LN1g, b.LN1b, b.Wqkv, b.Bqkv, b.Wproj, b.Bproj,
+			b.LN2g, b.LN2b, b.Wfc, b.Bfc, b.Wout, b.Bout)
+	}
+	out = append(out, m.LNfg, m.LNfb, m.Head, m.VHead, m.VBias)
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *GPT) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Clone returns a deep copy with detached parameters (used for the
+// frozen PPO reference model).
+func (m *GPT) Clone() *GPT {
+	c := &GPT{Cfg: m.Cfg}
+	c.TokEmb = m.TokEmb.Clone()
+	c.PosEmb = m.PosEmb.Clone()
+	for _, b := range m.Blocks {
+		c.Blocks = append(c.Blocks, &Block{
+			LN1g: b.LN1g.Clone(), LN1b: b.LN1b.Clone(),
+			Wqkv: b.Wqkv.Clone(), Bqkv: b.Bqkv.Clone(),
+			Wproj: b.Wproj.Clone(), Bproj: b.Bproj.Clone(),
+			LN2g: b.LN2g.Clone(), LN2b: b.LN2b.Clone(),
+			Wfc: b.Wfc.Clone(), Bfc: b.Bfc.Clone(),
+			Wout: b.Wout.Clone(), Bout: b.Bout.Clone(),
+		})
+	}
+	c.LNfg = m.LNfg.Clone()
+	c.LNfb = m.LNfb.Clone()
+	c.Head = m.Head.Clone()
+	c.VHead = m.VHead.Clone()
+	c.VBias = m.VBias.Clone()
+	return c
+}
+
+// hidden runs the transformer backbone over a padded batch. ids is
+// row-major [B][T] flattened; returns hidden states [B*T, D].
+func (m *GPT) hidden(idsFlat []int, batch, seqLen int) *tensor.Tensor {
+	if seqLen > m.Cfg.Ctx {
+		panic("nn: sequence longer than model context")
+	}
+	posIDs := make([]int, batch*seqLen)
+	for s := 0; s < batch; s++ {
+		for t := 0; t < seqLen; t++ {
+			posIDs[s*seqLen+t] = t
+		}
+	}
+	x := tensor.Add(tensor.Embedding(m.TokEmb, idsFlat), tensor.Embedding(m.PosEmb, posIDs))
+	for _, b := range m.Blocks {
+		h := tensor.LayerNorm(x, b.LN1g, b.LN1b)
+		qkv := tensor.AddBias(tensor.MatMul(h, b.Wqkv), b.Bqkv)
+		att := tensor.CausalSelfAttention(qkv, m.Cfg.Heads, seqLen)
+		att = tensor.AddBias(tensor.MatMul(att, b.Wproj), b.Bproj)
+		x = tensor.Add(x, att)
+		h2 := tensor.LayerNorm(x, b.LN2g, b.LN2b)
+		mlp := tensor.GELU(tensor.AddBias(tensor.MatMul(h2, b.Wfc), b.Bfc))
+		mlp = tensor.AddBias(tensor.MatMul(mlp, b.Wout), b.Bout)
+		x = tensor.Add(x, mlp)
+	}
+	return tensor.LayerNorm(x, m.LNfg, m.LNfb)
+}
+
+// pad flattens a batch of variable-length sequences into a padded
+// [B, T] layout, returning the flat ids and T. padID fills the tail.
+func pad(batchSeqs [][]int, padID int) (idsFlat []int, seqLen int) {
+	for _, s := range batchSeqs {
+		if len(s) > seqLen {
+			seqLen = len(s)
+		}
+	}
+	idsFlat = make([]int, len(batchSeqs)*seqLen)
+	for i, s := range batchSeqs {
+		for t := 0; t < seqLen; t++ {
+			if t < len(s) {
+				idsFlat[i*seqLen+t] = s[t]
+			} else {
+				idsFlat[i*seqLen+t] = padID
+			}
+		}
+	}
+	return idsFlat, seqLen
+}
+
+// Logits runs the model over a padded batch and returns logits
+// [B*T, V] plus the padded sequence length.
+func (m *GPT) Logits(batchSeqs [][]int, padID int) (*tensor.Tensor, int) {
+	idsFlat, seqLen := pad(batchSeqs, padID)
+	h := m.hidden(idsFlat, len(batchSeqs), seqLen)
+	return tensor.MatMul(h, m.Head), seqLen
+}
+
+// LogitsAndValues additionally returns the value head's output
+// [B*T, 1], sharing the backbone computation (PPO actor-critic).
+func (m *GPT) LogitsAndValues(batchSeqs [][]int, padID int) (*tensor.Tensor, *tensor.Tensor, int) {
+	idsFlat, seqLen := pad(batchSeqs, padID)
+	h := m.hidden(idsFlat, len(batchSeqs), seqLen)
+	logits := tensor.MatMul(h, m.Head)
+	values := tensor.AddBias(tensor.MatMul(h, m.VHead), m.VBias)
+	return logits, values, seqLen
+}
+
+// LMLoss computes the next-token cross-entropy over a batch
+// (training step 1). Padding and positions beyond each sequence's end
+// are ignored. Returns the loss node and its scalar value.
+func (m *GPT) LMLoss(batchSeqs [][]int, padID int) (*tensor.Tensor, float64) {
+	logits, seqLen := m.Logits(batchSeqs, padID)
+	targets := make([]int, logits.R)
+	for i := range targets {
+		targets[i] = -1
+	}
+	for s, seq := range batchSeqs {
+		for t := 0; t+1 < len(seq); t++ {
+			targets[s*seqLen+t] = seq[t+1]
+		}
+	}
+	loss := tensor.CrossEntropy(logits, targets)
+	return loss, loss.Data[0]
+}

@@ -1,0 +1,256 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"chatfuzz/internal/ml/tensor"
+)
+
+// Sampler runs the model incrementally with per-layer KV caches —
+// generation is O(T²) total instead of O(T³), which keeps the fuzzing
+// loop fast. It shares the model's weights and allocates no tape.
+type Sampler struct {
+	m   *GPT
+	k   [][]float64 // [layer] -> appended rows of D keys
+	v   [][]float64
+	pos int
+}
+
+// NewSampler returns an empty sampler for m.
+func NewSampler(m *GPT) *Sampler {
+	s := &Sampler{m: m}
+	s.k = make([][]float64, m.Cfg.Layers)
+	s.v = make([][]float64, m.Cfg.Layers)
+	return s
+}
+
+// Reset clears the cache for a new sequence.
+func (s *Sampler) Reset() {
+	for l := range s.k {
+		s.k[l] = s.k[l][:0]
+		s.v[l] = s.v[l][:0]
+	}
+	s.pos = 0
+}
+
+// Pos returns the number of tokens consumed.
+func (s *Sampler) Pos() int { return s.pos }
+
+func vecMatInto(dst, x []float64, w *tensor.Tensor) {
+	out := w.C
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := w.Data[i*out : (i+1)*out]
+		for j, wv := range row {
+			dst[j] += xv * wv
+		}
+	}
+}
+
+func layerNormVec(dst, x []float64, g, b *tensor.Tensor) {
+	n := float64(len(x))
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	variance := 0.0
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
+	rs := 1 / math.Sqrt(variance+1e-5)
+	for i, v := range x {
+		dst[i] = g.Data[i]*(v-mean)*rs + b.Data[i]
+	}
+}
+
+// Next consumes one token and returns (logits, value) for the
+// position just consumed.
+func (s *Sampler) Next(id int) (logits []float64, value float64) {
+	m := s.m
+	d := m.Cfg.Dim
+	if s.pos >= m.Cfg.Ctx {
+		panic("nn: sampler past model context")
+	}
+
+	x := make([]float64, d)
+	te := m.TokEmb.Row(id)
+	pe := m.PosEmb.Row(s.pos)
+	for i := range x {
+		x[i] = te[i] + pe[i]
+	}
+
+	h := make([]float64, d)
+	qkv := make([]float64, 3*d)
+	attn := make([]float64, d)
+	proj := make([]float64, d)
+	fc := make([]float64, 4*d)
+	mlp := make([]float64, d)
+	heads := m.Cfg.Heads
+	dh := d / heads
+	scale := 1 / math.Sqrt(float64(dh))
+
+	for l, blk := range m.Blocks {
+		layerNormVec(h, x, blk.LN1g, blk.LN1b)
+		vecMatInto(qkv, h, blk.Wqkv)
+		for i := range qkv {
+			qkv[i] += blk.Bqkv.Data[i]
+		}
+		q := qkv[:d]
+		s.k[l] = append(s.k[l], qkv[d:2*d]...)
+		s.v[l] = append(s.v[l], qkv[2*d:]...)
+		T := s.pos + 1
+
+		for i := range attn {
+			attn[i] = 0
+		}
+		for hd := 0; hd < heads; hd++ {
+			qh := q[hd*dh : (hd+1)*dh]
+			// Scores over all cached positions.
+			maxScore := math.Inf(-1)
+			scores := make([]float64, T)
+			for u := 0; u < T; u++ {
+				kr := s.k[l][u*d+hd*dh : u*d+hd*dh+dh]
+				sum := 0.0
+				for j := range qh {
+					sum += qh[j] * kr[j]
+				}
+				scores[u] = sum * scale
+				if scores[u] > maxScore {
+					maxScore = scores[u]
+				}
+			}
+			var z float64
+			for u := range scores {
+				scores[u] = math.Exp(scores[u] - maxScore)
+				z += scores[u]
+			}
+			for u := 0; u < T; u++ {
+				p := scores[u] / z
+				vr := s.v[l][u*d+hd*dh : u*d+hd*dh+dh]
+				for j := 0; j < dh; j++ {
+					attn[hd*dh+j] += p * vr[j]
+				}
+			}
+		}
+		vecMatInto(proj, attn, blk.Wproj)
+		for i := range x {
+			x[i] += proj[i] + blk.Bproj.Data[i]
+		}
+		layerNormVec(h, x, blk.LN2g, blk.LN2b)
+		vecMatInto(fc, h, blk.Wfc)
+		for i := range fc {
+			fc[i] = geluScalar(fc[i] + blk.Bfc.Data[i])
+		}
+		vecMatInto(mlp, fc, blk.Wout)
+		for i := range x {
+			x[i] += mlp[i] + blk.Bout.Data[i]
+		}
+	}
+
+	layerNormVec(h, x, m.LNfg, m.LNfb)
+	logits = make([]float64, m.Cfg.Vocab)
+	vecMatInto(logits, h, m.Head)
+	value = m.VBias.Data[0]
+	for i, hv := range h {
+		value += hv * m.VHead.Data[i]
+	}
+	s.pos++
+	return logits, value
+}
+
+func geluScalar(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(0.7978845608028654*(x+0.044715*x*x*x)))
+}
+
+// SampleToken draws from logits with temperature and top-k filtering.
+func SampleToken(rng *rand.Rand, logits []float64, temperature float64, topK int) int {
+	if temperature <= 0 {
+		return argmax(logits)
+	}
+	scaled := make([]float64, len(logits))
+	for i, v := range logits {
+		scaled[i] = v / temperature
+	}
+	if topK > 0 && topK < len(scaled) {
+		idx := make([]int, len(scaled))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return scaled[idx[a]] > scaled[idx[b]] })
+		cut := scaled[idx[topK-1]]
+		for i := range scaled {
+			if scaled[i] < cut {
+				scaled[i] = math.Inf(-1)
+			}
+		}
+	}
+	probs := tensor.Softmax(scaled)
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// GenerateResult is one sampled continuation with the statistics PPO
+// needs from rollout time.
+type GenerateResult struct {
+	Tokens   []int     // full sequence: prompt + generated
+	PromptN  int       // number of prompt tokens
+	LogProbs []float64 // log π_old(token) for each generated token
+	Values   []float64 // value head at each generated position
+}
+
+// Generate samples a continuation of prompt until maxNew tokens, the
+// eos token, or the context limit. Temperature and topK control the
+// distribution.
+func (m *GPT) Generate(rng *rand.Rand, prompt []int, maxNew int, temperature float64, topK, eos int) GenerateResult {
+	s := NewSampler(m)
+	res := GenerateResult{PromptN: len(prompt)}
+	res.Tokens = append(res.Tokens, prompt...)
+
+	var logits []float64
+	var value float64
+	for _, id := range prompt {
+		logits, value = s.Next(id)
+	}
+	for n := 0; n < maxNew && s.Pos() < m.Cfg.Ctx; n++ {
+		id := SampleToken(rng, logits, temperature, topK)
+		// Log-probabilities are always recorded under the untempered
+		// policy: PPO's ratio compares the same measure at rollout and
+		// optimisation time (temperature only shapes exploration).
+		lp := tensor.LogSoftmax(logits)[id]
+		res.Tokens = append(res.Tokens, id)
+		res.LogProbs = append(res.LogProbs, lp)
+		res.Values = append(res.Values, value)
+		if id == eos {
+			break
+		}
+		logits, value = s.Next(id)
+	}
+	return res
+}

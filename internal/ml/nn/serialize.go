@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// modelFile is the on-disk representation of a GPT checkpoint.
+type modelFile struct {
+	Cfg    Config
+	Params [][]float64
+}
+
+// Save writes the model parameters to w (gob encoding).
+func (m *GPT) Save(w io.Writer) error {
+	mf := modelFile{Cfg: m.Cfg}
+	for _, p := range m.Params() {
+		mf.Params = append(mf.Params, p.Data)
+	}
+	return gob.NewEncoder(w).Encode(&mf)
+}
+
+// SaveFile writes the model to a file.
+func (m *GPT) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// Load reads a checkpoint produced by Save. The receiver must have
+// been constructed with the same architecture; Load verifies shapes.
+func (m *GPT) Load(r io.Reader) error {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return err
+	}
+	if mf.Cfg != m.Cfg {
+		return fmt.Errorf("nn: checkpoint config %+v does not match model %+v", mf.Cfg, m.Cfg)
+	}
+	params := m.Params()
+	if len(params) != len(mf.Params) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, model has %d", len(mf.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.Data) != len(mf.Params[i]) {
+			return fmt.Errorf("nn: tensor %d size %d vs %d", i, len(mf.Params[i]), len(p.Data))
+		}
+		copy(p.Data, mf.Params[i])
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint from a file.
+func (m *GPT) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Load(f)
+}

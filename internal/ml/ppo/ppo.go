@@ -1,0 +1,262 @@
+// Package ppo implements Proximal Policy Optimization for the
+// language model, in the style of TRL's PPOTrainer, which the paper
+// uses for training steps 2 and 3: clipped surrogate objective, a
+// shared-backbone value head, GAE advantages, a per-token KL penalty
+// against a frozen reference model, and KL/reward/loss monitoring
+// ("we monitored the PPO algorithm's loss, the Kullback-Leibler
+// divergence between optimization policies, and the mean rewards").
+package ppo
+
+import (
+	"math"
+	"math/rand"
+
+	"chatfuzz/internal/ml/nn"
+	"chatfuzz/internal/ml/tensor"
+)
+
+// Config holds the PPO hyper-parameters.
+type Config struct {
+	LR           float64 // Adam learning rate
+	ClipEps      float64 // PPO clip range ε
+	KLCoef       float64 // per-token KL penalty coefficient β
+	VFCoef       float64 // value-loss weight
+	Gamma        float64 // discount
+	Lambda       float64 // GAE λ
+	Epochs       int     // optimisation epochs per rollout batch
+	MaxNewTokens int     // generation budget per prompt
+	Temperature  float64 // sampling temperature
+	TopK         int     // top-k sampling filter (0 = off)
+	GradClip     float64 // global gradient-norm clip
+	EOS          int     // end-of-sequence token id
+	PadID        int     // padding token id
+}
+
+// DefaultConfig returns TRL-like defaults.
+func DefaultConfig(eos, pad int) Config {
+	return Config{
+		LR: 3e-4, ClipEps: 0.2, KLCoef: 0.1, VFCoef: 0.5,
+		Gamma: 1.0, Lambda: 0.95, Epochs: 2, MaxNewTokens: 48,
+		Temperature: 1.0, TopK: 0, GradClip: 1.0, EOS: eos, PadID: pad,
+	}
+}
+
+// RewardFunc scores one sampled sequence; tokens is prompt+generation
+// and promptN the prompt length. Higher is better.
+type RewardFunc func(tokens []int, promptN int) float64
+
+// Stats reports one PPO step's monitored quantities.
+type Stats struct {
+	MeanReward float64 // mean environment (task) reward
+	MeanKL     float64 // mean per-token KL(π_old ‖ π_ref) estimate
+	PolicyLoss float64
+	ValueLoss  float64
+	ClipFrac   float64 // fraction of tokens hitting the clip range
+	MeanLen    float64 // mean generated length
+}
+
+// Trainer optimises a policy model against a reward function.
+type Trainer struct {
+	Policy *nn.GPT
+	Ref    *nn.GPT // frozen reference for the KL penalty
+	Opt    *nn.Adam
+	Cfg    Config
+
+	rng *rand.Rand
+}
+
+// NewTrainer clones the policy as the frozen reference and sets up the
+// optimizer.
+func NewTrainer(policy *nn.GPT, cfg Config, rng *rand.Rand) *Trainer {
+	return &Trainer{
+		Policy: policy,
+		Ref:    policy.Clone(),
+		Opt:    nn.NewAdam(policy.Params(), cfg.LR),
+		Cfg:    cfg,
+		rng:    rng,
+	}
+}
+
+// Rollout is one sampled trajectory plus its per-token quantities.
+// The fuzzing loop builds these from its own generations (so the same
+// simulation both fuzzes the DUT and rewards the model); Step builds
+// them internally from prompts.
+type Rollout struct {
+	Tokens  []int     // prompt + generation
+	PromptN int       // prompt length
+	LogpOld []float64 // per generated token, from rollout time
+	Values  []float64 // per generated token, from rollout time
+	Score   float64   // sequence-level task reward
+
+	rewards []float64 // per generated token (KL penalty + terminal score)
+	adv     []float64
+	returns []float64
+}
+
+// FromGeneration wraps a sampler result into a scored rollout.
+func FromGeneration(res nn.GenerateResult, score float64) *Rollout {
+	return &Rollout{
+		Tokens:  res.Tokens,
+		PromptN: res.PromptN,
+		LogpOld: res.LogProbs,
+		Values:  res.Values,
+		Score:   score,
+	}
+}
+
+// Step runs one PPO iteration: sample a continuation for every
+// prompt, score them, compute GAE advantages, and optimise the
+// clipped surrogate for Cfg.Epochs epochs.
+func (t *Trainer) Step(prompts [][]int, reward RewardFunc) Stats {
+	cfg := t.Cfg
+	rolls := make([]*Rollout, 0, len(prompts))
+	for _, p := range prompts {
+		res := t.Policy.Generate(t.rng, p, cfg.MaxNewTokens, cfg.Temperature, cfg.TopK, cfg.EOS)
+		if len(res.Tokens) == res.PromptN {
+			continue // context exhausted; nothing generated
+		}
+		rolls = append(rolls, FromGeneration(res, reward(res.Tokens, res.PromptN)))
+	}
+	return t.StepRollouts(rolls)
+}
+
+// StepRollouts runs the PPO update on externally collected rollouts.
+func (t *Trainer) StepRollouts(rolls []*Rollout) Stats {
+	cfg := t.Cfg
+	var stats Stats
+	if len(rolls) == 0 {
+		return stats
+	}
+
+	// --- Reference log-probs and per-token rewards ---
+	seqs := make([][]int, len(rolls))
+	for i, r := range rolls {
+		seqs[i] = r.Tokens
+	}
+	refLogits, refT := t.Ref.Logits(seqs, cfg.PadID)
+	var klSum float64
+	var klCount int
+	for i, r := range rolls {
+		gen := len(r.LogpOld)
+		r.rewards = make([]float64, gen)
+		for g := 0; g < gen; g++ {
+			pos := r.PromptN + g // index of the generated token
+			row := refLogits.Row((i*refT + pos - 1))
+			refLp := tensor.LogSoftmax(row)[r.Tokens[pos]]
+			kl := r.LogpOld[g] - refLp
+			klSum += kl
+			klCount++
+			r.rewards[g] = -cfg.KLCoef * kl
+		}
+		r.rewards[gen-1] += r.Score
+		stats.MeanReward += r.Score
+		stats.MeanLen += float64(gen)
+	}
+	stats.MeanReward /= float64(len(rolls))
+	stats.MeanLen /= float64(len(rolls))
+	if klCount > 0 {
+		stats.MeanKL = klSum / float64(klCount)
+	}
+
+	// --- GAE ---
+	var advMean, advVar float64
+	var advN int
+	for _, r := range rolls {
+		gen := len(r.rewards)
+		r.adv = make([]float64, gen)
+		r.returns = make([]float64, gen)
+		next := 0.0     // V(s_{T}) = 0 at episode end
+		nextAdv := 0.0
+		for g := gen - 1; g >= 0; g-- {
+			delta := r.rewards[g] + cfg.Gamma*next - r.Values[g]
+			nextAdv = delta + cfg.Gamma*cfg.Lambda*nextAdv
+			r.adv[g] = nextAdv
+			r.returns[g] = r.adv[g] + r.Values[g]
+			next = r.Values[g]
+		}
+		for _, a := range r.adv {
+			advMean += a
+			advN++
+		}
+	}
+	advMean /= float64(advN)
+	for _, r := range rolls {
+		for _, a := range r.adv {
+			d := a - advMean
+			advVar += d * d
+		}
+	}
+	advStd := math.Sqrt(advVar/float64(advN)) + 1e-8
+	for _, r := range rolls {
+		for g := range r.adv {
+			r.adv[g] = (r.adv[g] - advMean) / advStd
+		}
+	}
+
+	// --- Optimisation phase ---
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		pLoss, vLoss, clipFrac := t.optimize(rolls)
+		if epoch == cfg.Epochs-1 {
+			stats.PolicyLoss, stats.ValueLoss, stats.ClipFrac = pLoss, vLoss, clipFrac
+		}
+	}
+	return stats
+}
+
+// optimize runs one epoch of clipped-surrogate optimisation over the
+// rollouts and returns (policyLoss, valueLoss, clipFraction).
+func (t *Trainer) optimize(rolls []*Rollout) (float64, float64, float64) {
+	cfg := t.Cfg
+	seqs := make([][]int, len(rolls))
+	for i, r := range rolls {
+		seqs[i] = r.Tokens
+	}
+	logits, values, T := t.Policy.LogitsAndValues(seqs, cfg.PadID)
+	rows := logits.R
+
+	// Per-row target ids, old logps, advantages, returns, mask.
+	ids := make([]int, rows)
+	logpOld := tensor.New(rows, 1)
+	adv := tensor.New(rows, 1)
+	ret := tensor.New(rows, 1)
+	mask := tensor.New(rows, 1)
+	count := 0
+	for i, r := range rolls {
+		for g := range r.LogpOld {
+			pos := r.PromptN + g
+			row := i*T + pos - 1 // logits row that predicts tokens[pos]
+			ids[row] = r.Tokens[pos]
+			logpOld.Data[row] = r.LogpOld[g]
+			adv.Data[row] = r.adv[g]
+			ret.Data[row] = r.returns[g]
+			mask.Data[row] = 1
+			count++
+		}
+	}
+
+	logpNew := tensor.GatherLogSoftmax(logits, ids)
+	ratio := tensor.Exp(tensor.Sub(logpNew, logpOld))
+	s1 := tensor.Mul(ratio, adv)
+	s2 := tensor.Mul(tensor.Clamp(ratio, 1-cfg.ClipEps, 1+cfg.ClipEps), adv)
+	policyLoss := tensor.Scale(tensor.Sum(tensor.Min(s1, s2)), -1/float64(count))
+
+	vErr := tensor.Mul(tensor.Square(tensor.Sub(values, ret)), mask)
+	valueLoss := tensor.Scale(tensor.Sum(vErr), 1/float64(count))
+
+	loss := tensor.Add(policyLoss, tensor.Scale(valueLoss, cfg.VFCoef))
+
+	t.Opt.ZeroGrad()
+	tensor.Backward(loss)
+	if cfg.GradClip > 0 {
+		t.Opt.ClipGradNorm(cfg.GradClip)
+	}
+	t.Opt.Step()
+
+	clipped := 0
+	for i := 0; i < rows; i++ {
+		if mask.Data[i] == 1 && math.Abs(ratio.Data[i]-1) > cfg.ClipEps {
+			clipped++
+		}
+	}
+	return policyLoss.Data[0], valueLoss.Data[0], float64(clipped) / float64(count)
+}

@@ -1,0 +1,456 @@
+// Package tensor is a small tape-based automatic-differentiation
+// engine over 2-D float64 tensors — the substrate for the GPT-2-style
+// language model and the PPO trainer (the paper's PyTorch substitute).
+//
+// Design: every operation builds a node whose backward closure
+// scatters gradients into its parents; Backward topologically sorts
+// the tape and runs the closures. Ops are specialised for the
+// transformer workload (matmul, layer norm, GELU, fused causal
+// attention, embedding gather, cross-entropy) rather than offering
+// general broadcasting.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a row-major 2-D array with optional gradient storage.
+type Tensor struct {
+	R, C int
+	Data []float64
+	Grad []float64
+
+	requires bool
+	back     func()
+	prev     []*Tensor
+}
+
+// New returns a zero tensor that does not require gradients.
+func New(r, c int) *Tensor {
+	return &Tensor{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// Param returns a zero tensor that accumulates gradients (a trainable
+// parameter).
+func Param(r, c int) *Tensor {
+	t := New(r, c)
+	t.requires = true
+	t.Grad = make([]float64, r*c)
+	return t
+}
+
+// FromSlice wraps data (not copied) as an [r, c] tensor.
+func FromSlice(r, c int, data []float64) *Tensor {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d with %d elements", r, c, len(data)))
+	}
+	return &Tensor{R: r, C: c, Data: data}
+}
+
+// Requires reports whether the tensor participates in gradients.
+func (t *Tensor) Requires() bool { return t.requires }
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.C+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.C+j] = v }
+
+// Row returns a view of row i.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.C : (i+1)*t.C] }
+
+// ZeroGrad clears accumulated gradients.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Clone returns a detached deep copy (no tape history).
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.R, t.C)
+	copy(out.Data, t.Data)
+	if t.requires {
+		out.requires = true
+		out.Grad = make([]float64, len(t.Data))
+	}
+	return out
+}
+
+// child creates the result tensor of an op over parents, inheriting
+// gradient participation.
+func child(r, c int, parents ...*Tensor) *Tensor {
+	t := New(r, c)
+	for _, p := range parents {
+		if p.requires {
+			t.requires = true
+			break
+		}
+	}
+	if t.requires {
+		t.Grad = make([]float64, r*c)
+	}
+	t.prev = parents
+	return t
+}
+
+// ensureGrad allocates the gradient buffer of an intermediate node.
+func ensureGrad(t *Tensor) {
+	if t.requires && t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// Backward runs reverse-mode differentiation from t (which must be a
+// scalar [1,1] unless seed gradients were placed manually).
+func Backward(t *Tensor) {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+	if t.R == 1 && t.C == 1 {
+		t.Grad[0] = 1
+	}
+	// Topological order via iterative DFS.
+	var order []*Tensor
+	visited := map[*Tensor]bool{}
+	type frame struct {
+		n *Tensor
+		i int
+	}
+	stack := []frame{{t, 0}}
+	visited[t] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.n.prev) {
+			p := f.n.prev[f.i]
+			f.i++
+			if !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		order = append(order, f.n)
+		stack = stack[:len(stack)-1]
+	}
+	// order is post-order: children after parents; walk in reverse.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.back != nil && n.requires {
+			n.back()
+		}
+	}
+}
+
+// ---------- Elementwise and reduction ops ----------
+
+// binOp applies f elementwise; dfa/dfb give ∂out/∂a and ∂out/∂b.
+func binOp(a, b *Tensor, f func(x, y float64) float64,
+	dfa, dfb func(x, y float64) float64) *Tensor {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := child(a.R, a.C, a, b)
+	for i := range out.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	out.back = func() {
+		ensureGrad(a)
+		ensureGrad(b)
+		for i, g := range out.Grad {
+			if a.requires {
+				a.Grad[i] += g * dfa(a.Data[i], b.Data[i])
+			}
+			if b.requires {
+				b.Grad[i] += g * dfb(a.Data[i], b.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// unOp applies f elementwise with derivative df.
+func unOp(a *Tensor, f, df func(x float64) float64) *Tensor {
+	out := child(a.R, a.C, a)
+	for i := range out.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	out.back = func() {
+		ensureGrad(a)
+		if !a.requires {
+			return
+		}
+		for i, g := range out.Grad {
+			a.Grad[i] += g * df(a.Data[i])
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Tensor) *Tensor {
+	return binOp(a, b,
+		func(x, y float64) float64 { return x + y },
+		func(x, y float64) float64 { return 1 },
+		func(x, y float64) float64 { return 1 })
+}
+
+// Sub returns a - b.
+func Sub(a, b *Tensor) *Tensor {
+	return binOp(a, b,
+		func(x, y float64) float64 { return x - y },
+		func(x, y float64) float64 { return 1 },
+		func(x, y float64) float64 { return -1 })
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Tensor) *Tensor {
+	return binOp(a, b,
+		func(x, y float64) float64 { return x * y },
+		func(x, y float64) float64 { return y },
+		func(x, y float64) float64 { return x })
+}
+
+// Min returns the elementwise minimum.
+func Min(a, b *Tensor) *Tensor {
+	return binOp(a, b,
+		math.Min,
+		func(x, y float64) float64 {
+			if x <= y {
+				return 1
+			}
+			return 0
+		},
+		func(x, y float64) float64 {
+			if y < x {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Scale returns a * k.
+func Scale(a *Tensor, k float64) *Tensor {
+	return unOp(a,
+		func(x float64) float64 { return x * k },
+		func(x float64) float64 { return k })
+}
+
+// AddConst returns a + k.
+func AddConst(a *Tensor, k float64) *Tensor {
+	return unOp(a,
+		func(x float64) float64 { return x + k },
+		func(x float64) float64 { return 1 })
+}
+
+// Exp returns e^a.
+func Exp(a *Tensor) *Tensor {
+	return unOp(a, math.Exp, math.Exp)
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
+
+// Square returns a².
+func Square(a *Tensor) *Tensor {
+	return unOp(a,
+		func(x float64) float64 { return x * x },
+		func(x float64) float64 { return 2 * x })
+}
+
+// Clamp limits values to [lo, hi]; the gradient is zero outside.
+func Clamp(a *Tensor, lo, hi float64) *Tensor {
+	return unOp(a,
+		func(x float64) float64 { return math.Max(lo, math.Min(hi, x)) },
+		func(x float64) float64 {
+			if x < lo || x > hi {
+				return 0
+			}
+			return 1
+		})
+}
+
+// geluCoef is sqrt(2/pi) of the tanh GELU approximation.
+var geluCoef = math.Sqrt(2 / math.Pi)
+
+func geluF(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluCoef*(x+0.044715*x*x*x)))
+}
+
+func geluDF(x float64) float64 {
+	inner := geluCoef * (x + 0.044715*x*x*x)
+	th := math.Tanh(inner)
+	sech2 := 1 - th*th
+	return 0.5*(1+th) + 0.5*x*sech2*geluCoef*(1+3*0.044715*x*x)
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation, as
+// in GPT-2).
+func GELU(a *Tensor) *Tensor { return unOp(a, geluF, geluDF) }
+
+// Mean reduces to a scalar [1,1].
+func Mean(a *Tensor) *Tensor {
+	out := child(1, 1, a)
+	sum := 0.0
+	for _, v := range a.Data {
+		sum += v
+	}
+	n := float64(len(a.Data))
+	out.Data[0] = sum / n
+	out.back = func() {
+		ensureGrad(a)
+		if !a.requires {
+			return
+		}
+		g := out.Grad[0] / n
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Sum reduces to a scalar [1,1].
+func Sum(a *Tensor) *Tensor {
+	out := child(1, 1, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s
+	out.back = func() {
+		ensureGrad(a)
+		if !a.requires {
+			return
+		}
+		g := out.Grad[0]
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// ---------- Linear algebra ----------
+
+// matmulThreshold is the work size above which MatMul parallelises
+// across rows.
+const matmulThreshold = 1 << 16
+
+// MatMul returns a×b for a [M,K] and b [K,N].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: matmul %dx%d × %dx%d", a.R, a.C, b.R, b.C))
+	}
+	m, k, n := a.R, a.C, b.C
+	out := child(m, n, a, b)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n, false, false)
+	out.back = func() {
+		ensureGrad(a)
+		ensureGrad(b)
+		if a.requires {
+			// dA = dOut × Bᵀ
+			matmulInto(a.Grad, out.Grad, b.Data, m, n, k, false, true)
+		}
+		if b.requires {
+			// dB = Aᵀ × dOut
+			matmulInto(b.Grad, a.Data, out.Grad, k, m, n, true, false)
+		}
+	}
+	return out
+}
+
+// matmulInto computes dst += A×B (with optional transposes) where the
+// logical shapes after transposition are [m,k]×[k,n]. dst is
+// accumulated into, allowing gradient accumulation.
+func matmulInto(dst, a, b []float64, m, k, n int, transA, transB bool) {
+	work := m * k * n
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				var av float64
+				if transA {
+					av = a[p*m+i]
+				} else {
+					av = a[i*k+p]
+				}
+				if av == 0 {
+					continue
+				}
+				if transB {
+					for j := 0; j < n; j++ {
+						di[j] += av * b[j*k+p]
+					}
+				} else {
+					bp := b[p*n : p*n+n]
+					for j := 0; j < n; j++ {
+						di[j] += av * bp[j]
+					}
+				}
+			}
+		}
+	}
+	if work < matmulThreshold {
+		rows(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rows(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AddBias adds a [1,C] bias row to every row of a [R,C] tensor.
+func AddBias(a, bias *Tensor) *Tensor {
+	if bias.R != 1 || bias.C != a.C {
+		panic(fmt.Sprintf("tensor: bias %dx%d for %dx%d", bias.R, bias.C, a.R, a.C))
+	}
+	out := child(a.R, a.C, a, bias)
+	for i := 0; i < a.R; i++ {
+		ar, or := a.Row(i), out.Row(i)
+		for j := range or {
+			or[j] = ar[j] + bias.Data[j]
+		}
+	}
+	out.back = func() {
+		ensureGrad(a)
+		ensureGrad(bias)
+		for i := 0; i < a.R; i++ {
+			gr := out.Grad[i*a.C : (i+1)*a.C]
+			if a.requires {
+				agr := a.Grad[i*a.C : (i+1)*a.C]
+				for j := range gr {
+					agr[j] += gr[j]
+				}
+			}
+			if bias.requires {
+				for j := range gr {
+					bias.Grad[j] += gr[j]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gradCheck compares analytic gradients against central differences.
+// f must rebuild the graph from the live param values on every call.
+func gradCheck(t *testing.T, name string, params []*Tensor, f func() *Tensor, tol float64) {
+	t.Helper()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	loss := f()
+	Backward(loss)
+
+	const h = 1e-5
+	for pi, p := range params {
+		analytic := make([]float64, len(p.Grad))
+		copy(analytic, p.Grad)
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + h
+			up := f().Data[0]
+			p.Data[i] = orig - h
+			down := f().Data[0]
+			p.Data[i] = orig
+			numeric := (up - down) / (2 * h)
+			diff := math.Abs(numeric - analytic[i])
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic[i])))
+			if diff/scale > tol {
+				t.Fatalf("%s: param %d elem %d: analytic %g vs numeric %g", name, pi, i, analytic[i], numeric)
+			}
+		}
+	}
+}
+
+func randParam(rng *rand.Rand, r, c int) *Tensor {
+	p := Param(r, c)
+	for i := range p.Data {
+		p.Data[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+func TestGradAddSubMulMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randParam(rng, 3, 4)
+	b := randParam(rng, 3, 4)
+	gradCheck(t, "add", []*Tensor{a, b}, func() *Tensor { return Mean(Add(a, b)) }, 1e-6)
+	gradCheck(t, "sub", []*Tensor{a, b}, func() *Tensor { return Mean(Sub(a, b)) }, 1e-6)
+	gradCheck(t, "mul", []*Tensor{a, b}, func() *Tensor { return Mean(Mul(a, b)) }, 1e-6)
+	gradCheck(t, "min", []*Tensor{a, b}, func() *Tensor { return Mean(Min(a, b)) }, 1e-5)
+}
+
+func TestGradUnaryOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randParam(rng, 2, 5)
+	gradCheck(t, "scale", []*Tensor{a}, func() *Tensor { return Mean(Scale(a, 2.5)) }, 1e-6)
+	gradCheck(t, "exp", []*Tensor{a}, func() *Tensor { return Mean(Exp(a)) }, 1e-5)
+	gradCheck(t, "gelu", []*Tensor{a}, func() *Tensor { return Mean(GELU(a)) }, 1e-5)
+	gradCheck(t, "square", []*Tensor{a}, func() *Tensor { return Mean(Square(a)) }, 1e-6)
+	gradCheck(t, "sum", []*Tensor{a}, func() *Tensor { return Sum(a) }, 1e-6)
+	gradCheck(t, "addconst", []*Tensor{a}, func() *Tensor { return Mean(AddConst(a, 3)) }, 1e-6)
+	gradCheck(t, "neg", []*Tensor{a}, func() *Tensor { return Mean(Neg(a)) }, 1e-6)
+}
+
+func TestGradClamp(t *testing.T) {
+	a := Param(1, 5)
+	copy(a.Data, []float64{-2, -0.5, 0, 0.5, 2})
+	gradCheck(t, "clamp", []*Tensor{a}, func() *Tensor { return Mean(Clamp(a, -1, 1)) }, 1e-6)
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randParam(rng, 3, 4)
+	b := randParam(rng, 4, 5)
+	gradCheck(t, "matmul", []*Tensor{a, b}, func() *Tensor { return Mean(MatMul(a, b)) }, 1e-5)
+}
+
+func TestGradAddBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randParam(rng, 3, 4)
+	b := randParam(rng, 1, 4)
+	gradCheck(t, "addbias", []*Tensor{a, b}, func() *Tensor { return Mean(AddBias(a, b)) }, 1e-6)
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randParam(rng, 3, 6)
+	g := randParam(rng, 1, 6)
+	b := randParam(rng, 1, 6)
+	gradCheck(t, "layernorm", []*Tensor{x, g, b},
+		func() *Tensor { return Mean(LayerNorm(x, g, b)) }, 1e-4)
+}
+
+func TestGradEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	table := randParam(rng, 7, 4)
+	ids := []int{0, 3, 3, 6, 1}
+	gradCheck(t, "embedding", []*Tensor{table},
+		func() *Tensor { return Mean(Embedding(table, ids)) }, 1e-6)
+}
+
+func TestGradCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := randParam(rng, 5, 6)
+	targets := []int{2, 0, -1, 5, 3} // one ignored row
+	gradCheck(t, "crossentropy", []*Tensor{logits},
+		func() *Tensor { return CrossEntropy(logits, targets) }, 1e-5)
+}
+
+func TestGradGatherLogSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	logits := randParam(rng, 4, 5)
+	ids := []int{1, 4, 0, 2}
+	gradCheck(t, "gatherlogsoftmax", []*Tensor{logits},
+		func() *Tensor { return Mean(GatherLogSoftmax(logits, ids)) }, 1e-5)
+}
+
+func TestGradCausalSelfAttention(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const T, D, H = 4, 6, 2
+	qkv := randParam(rng, 2*T, 3*D) // two sequences
+	gradCheck(t, "attention", []*Tensor{qkv},
+		func() *Tensor { return Mean(CausalSelfAttention(qkv, H, T)) }, 1e-4)
+}
+
+func TestGradComposite(t *testing.T) {
+	// A miniature transformer-block-like composite to exercise the tape.
+	rng := rand.New(rand.NewSource(10))
+	x := randParam(rng, 4, 6)
+	w := randParam(rng, 6, 6)
+	g := randParam(rng, 1, 6)
+	b := randParam(rng, 1, 6)
+	gradCheck(t, "composite", []*Tensor{x, w, g, b}, func() *Tensor {
+		h := MatMul(x, w)
+		h = GELU(h)
+		h = LayerNorm(h, g, b)
+		h = Add(h, x)
+		return Mean(Square(h))
+	}, 1e-4)
+}
+
+func TestCausalMaskNoFutureLeak(t *testing.T) {
+	// Changing a future token's K/V must not change an earlier output.
+	const T, D, H = 3, 4, 1
+	qkv := New(T, 3*D)
+	rng := rand.New(rand.NewSource(11))
+	for i := range qkv.Data {
+		qkv.Data[i] = rng.NormFloat64()
+	}
+	out1 := CausalSelfAttention(qkv, H, T)
+	row0a := append([]float64(nil), out1.Row(0)...)
+	// Perturb the last token's entire qkv row.
+	for j := 0; j < 3*D; j++ {
+		qkv.Set(T-1, j, qkv.At(T-1, j)+5)
+	}
+	out2 := CausalSelfAttention(qkv, H, T)
+	for j, v := range out2.Row(0) {
+		if math.Abs(v-row0a[j]) > 1e-12 {
+			t.Fatalf("future token leaked into position 0 (col %d)", j)
+		}
+	}
+}
+
+func TestMatMulCorrectness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := New(m, k), New(k, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		out := MatMul(a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want float64
+				for p := 0; p < k; p++ {
+					want += a.At(i, p) * b.At(p, j)
+				}
+				if math.Abs(out.At(i, j)-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// Big enough to cross matmulThreshold.
+	a, b := New(64, 64), New(64, 64)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	out := MatMul(a, b)
+	for i := 0; i < 8; i++ { // spot-check rows
+		for j := 0; j < 8; j++ {
+			var want float64
+			for p := 0; p < 64; p++ {
+				want += a.At(i, p) * b.At(p, j)
+			}
+			if math.Abs(out.At(i, j)-want) > 1e-9 {
+				t.Fatalf("parallel matmul wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i := range vals {
+			// bound magnitudes to avoid Inf inputs from quick
+			if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+				vals[i] = 0
+			}
+			vals[i] = math.Mod(vals[i], 50)
+		}
+		sm := Softmax(vals)
+		sum := 0.0
+		for _, v := range sm {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Add should panic")
+		}
+	}()
+	Add(New(2, 3), New(3, 2))
+}
+
+func TestGradientAccumulation(t *testing.T) {
+	// Using a param twice must sum both gradient paths.
+	a := Param(1, 1)
+	a.Data[0] = 3
+	loss := Mean(Mul(a, a)) // d(a²)/da = 2a = 6
+	Backward(loss)
+	if math.Abs(a.Grad[0]-6) > 1e-9 {
+		t.Errorf("grad = %v, want 6", a.Grad[0])
+	}
+}
+
+func TestCloneDetaches(t *testing.T) {
+	a := Param(2, 2)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	c := a.Clone()
+	c.Data[0] = 99
+	if a.Data[0] == 99 {
+		t.Error("clone shares data")
+	}
+	if c.prev != nil {
+		t.Error("clone must be detached from the tape")
+	}
+}

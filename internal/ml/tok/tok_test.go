@@ -1,0 +1,127 @@
+package tok
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatfuzz/internal/corpus"
+	"chatfuzz/internal/isa"
+)
+
+func testCorpus() [][]uint32 {
+	c := corpus.Generate(corpus.Config{Seed: 1, Functions: 300, MinLen: 12, MaxLen: 40})
+	return c.Functions
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	fns := testCorpus()
+	tk := Train(fns, 0)
+	for i, fn := range fns[:50] {
+		tokens := tk.Encode(fn)
+		if tokens[0] != BOS || tokens[len(tokens)-1] != EOS {
+			t.Fatalf("function %d: missing BOS/EOS framing", i)
+		}
+		words := tk.Decode(tokens)
+		if len(words) != len(fn) {
+			t.Fatalf("function %d: roundtrip length %d vs %d", i, len(words), len(fn))
+		}
+		for j := range words {
+			if words[j] != fn[j] {
+				t.Fatalf("function %d word %d: %#08x vs %#08x", i, j, words[j], fn[j])
+			}
+		}
+	}
+}
+
+func TestVocabIsCompact(t *testing.T) {
+	fns := testCorpus()
+	tk := Train(fns, 0)
+	if tk.Vocab() > 4096 {
+		t.Errorf("vocabulary too large for the bounded corpus: %d", tk.Vocab())
+	}
+	if tk.Vocab() < 100 {
+		t.Errorf("vocabulary suspiciously small: %d", tk.Vocab())
+	}
+}
+
+func TestMaxVocabTruncation(t *testing.T) {
+	fns := testCorpus()
+	tk := Train(fns, 128)
+	if tk.Vocab() != 128 {
+		t.Errorf("Vocab = %d, want 128", tk.Vocab())
+	}
+	// Rare parcels now encode as UNK, and UNK decodes to an invalid
+	// word (0x.... with a zero parcel), feeding the Eq.1 penalty.
+	full := Train(fns, 0)
+	unkSeen := false
+	for _, fn := range fns {
+		for _, id := range tk.EncodeBody(fn) {
+			if id == UNK {
+				unkSeen = true
+			}
+		}
+	}
+	if full.Vocab() > 128 && !unkSeen {
+		t.Error("expected some UNK tokens after truncation")
+	}
+}
+
+func TestDecodeSkipsSpecialsAndDropsTail(t *testing.T) {
+	fns := testCorpus()
+	tk := Train(fns, 0)
+	w := fns[0][0]
+	toks := []int{BOS, tk.TokenOf(uint16(w)), PAD, tk.TokenOf(uint16(w >> 16)), EOS,
+		tk.TokenOf(uint16(w))} // trailing unpaired parcel
+	words := tk.Decode(toks)
+	if len(words) != 1 || words[0] != w {
+		t.Fatalf("Decode = %#v, want [%#08x]", words, w)
+	}
+}
+
+func TestUNKDecodesInvalid(t *testing.T) {
+	fns := testCorpus()
+	tk := Train(fns, 0)
+	words := tk.Decode([]int{UNK, UNK})
+	if len(words) != 1 {
+		t.Fatalf("want 1 word, got %d", len(words))
+	}
+	if isa.Decode(words[0]).Valid() {
+		t.Error("UNK pair should decode to an invalid instruction")
+	}
+}
+
+func TestFrequencyRankedIDs(t *testing.T) {
+	// The NOP parcels are extremely common in any corpus that contains
+	// NOPs; its low parcel (0x0013) should get a small id.
+	fns := testCorpus()
+	tk := Train(fns, 0)
+	id := tk.TokenOf(0x0013)
+	if id == UNK {
+		t.Skip("corpus variant without 0x0013 parcels")
+	}
+	if id > tk.Vocab()/2 {
+		t.Errorf("common parcel got a high id (%d of %d): frequency ranking broken?", id, tk.Vocab())
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	tk := Train(testCorpus(), 0)
+	if tk.String(BOS) != "<bos>" || tk.String(UNK) != "<unk>" {
+		t.Error("special token names wrong")
+	}
+	if s := tk.String(NumSpecial); len(s) != 4 {
+		t.Errorf("parcel token renders as %q, want 4 hex digits", s)
+	}
+}
+
+func TestEncodeBodyPairsPerWord(t *testing.T) {
+	tk := Train(testCorpus(), 0)
+	rng := rand.New(rand.NewSource(2))
+	words := make([]uint32, 10)
+	for i := range words {
+		words[i] = uint32(rng.Int63())
+	}
+	if got := len(tk.EncodeBody(words)); got != 20 {
+		t.Errorf("EncodeBody emitted %d tokens for 10 words, want 20", got)
+	}
+}

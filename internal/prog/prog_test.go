@@ -1,0 +1,128 @@
+package prog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/mem"
+)
+
+func TestBuildLayout(t *testing.T) {
+	img, layout := Build(Program{Body: []uint32{isa.NOP, isa.NOP}})
+	if img.Entry != layout.InitBase || layout.InitBase != mem.TextBase {
+		t.Errorf("entry %#x, init %#x", img.Entry, layout.InitBase)
+	}
+	if layout.HandlerBase <= layout.InitBase || layout.BodyBase <= layout.HandlerBase {
+		t.Error("layout sections out of order")
+	}
+	if layout.Epilogue != layout.BodyBase+8 {
+		t.Errorf("epilogue %#x, want body+8", layout.Epilogue)
+	}
+	if len(img.Segments) != 3 {
+		t.Errorf("segments = %d, want 3", len(img.Segments))
+	}
+}
+
+// TestHarnessInstructionsAllValid: every word the harness emits must
+// decode (the init/handler/epilogue run on both simulators).
+func TestHarnessInstructionsAllValid(t *testing.T) {
+	img, _ := Build(Program{Body: []uint32{isa.NOP}})
+	for _, seg := range img.Segments {
+		for i := 0; i+4 <= len(seg.Data); i += 4 {
+			w := uint32(seg.Data[i]) | uint32(seg.Data[i+1])<<8 |
+				uint32(seg.Data[i+2])<<16 | uint32(seg.Data[i+3])<<24
+			if w == isa.NOP {
+				continue
+			}
+			if !isa.Decode(w).Valid() {
+				t.Fatalf("harness word %#08x at %#x is invalid",
+					w, seg.Base+uint64(i))
+			}
+		}
+	}
+}
+
+// TestEmitLIProperty: the li expansion must materialise any constant.
+func TestEmitLIProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		seq := emitLI(isa.A0, v)
+		// Interpret the chain with simple ALU semantics.
+		var reg uint64
+		for _, w := range seq {
+			inst := isa.Decode(w)
+			switch inst.Op {
+			case isa.OpADDI:
+				base := uint64(0)
+				if inst.Rs1 == isa.A0 {
+					base = reg
+				}
+				reg = base + uint64(inst.Imm)
+			case isa.OpSLLI:
+				reg = reg << uint(inst.Imm)
+			default:
+				return false
+			}
+		}
+		return reg == v
+	}
+	cfg := &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitialRegsRoles(t *testing.T) {
+	_, layout := Build(Program{})
+	regs := InitialRegs(layout)
+	if regs[0] != 0 {
+		t.Error("x0 must be zero")
+	}
+	if regs[isa.SP]%8 != 0 || regs[isa.SP] < mem.DataBase {
+		t.Error("sp must be an aligned data pointer")
+	}
+	if regs[isa.S5]%2 == 0 {
+		t.Error("s5 must be a misaligned pointer")
+	}
+	m := mem.Platform()
+	if m.Mapped(regs[isa.TP], 8) {
+		t.Error("tp must be an unmapped pointer")
+	}
+	if regs[isa.RA] != layout.BodyBase {
+		t.Error("ra must point at the body")
+	}
+}
+
+func TestTrapExitEncoding(t *testing.T) {
+	if _, isTrap := TrapExit(1); isTrap {
+		t.Error("normal exit code 1 must not classify as trap")
+	}
+	cause, isTrap := TrapExit((uint64(5+1) << 1) | 1)
+	if !isTrap || cause != 5 {
+		t.Errorf("TrapExit = (%d, %v), want (5, true)", cause, isTrap)
+	}
+}
+
+func TestInstructionBudgetScales(t *testing.T) {
+	if InstructionBudget(10) >= InstructionBudget(1000) {
+		t.Error("budget must grow with body size")
+	}
+	if InstructionBudget(0) < 1000 {
+		t.Error("budget must cover the harness itself")
+	}
+}
+
+func TestBuildRejectsNothing(t *testing.T) {
+	// Bodies up to the documented max must build without panicking.
+	body := make([]uint32, 1024)
+	for i := range body {
+		body[i] = isa.NOP
+	}
+	img, layout := Build(Program{Body: body})
+	if layout.Epilogue != layout.BodyBase+uint64(4*len(body)) {
+		t.Error("epilogue misplaced")
+	}
+	m := mem.Platform()
+	m.Load(img) // must not panic
+}

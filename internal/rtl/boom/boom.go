@@ -1,0 +1,729 @@
+// Package boom models the BOOM DUT: a 2-wide out-of-order superscalar
+// RISC-V core with register renaming, a reorder buffer, an issue
+// queue, a load/store queue with store-to-load forwarding, branch
+// prediction, and the same L1 caches and privilege architecture as the
+// Rocket model — instrumented with its own condition-coverage space.
+//
+// Unlike the Rocket model, the BOOM model carries no injected findings:
+// the paper's mismatch analysis targets RocketCore, and BOOM serves the
+// coverage experiment (97.02 % condition coverage in 49 minutes).
+//
+// Implementation note: architectural execution is performed in program
+// order (sharing the exact semantics of the golden model through
+// internal/isa and internal/hart), while an out-of-order timing and
+// occupancy model — dispatch/issue/complete/commit events over a ROB,
+// issue queue and store queue — drives the condition coverage and the
+// cycle count. This is the standard functional-executor + timing-model
+// simulator split.
+package boom
+
+import (
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/hart"
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/uarch"
+	"chatfuzz/internal/trace"
+)
+
+// Microarchitectural parameters (BOOM "SmallBoom"-ish configuration).
+const (
+	robSize      = 32
+	iqSize       = 12
+	sqSize       = 8
+	commitWidth  = 2
+	flushPenalty = 7
+)
+
+// Operation latencies in cycles.
+const (
+	latALU   = 1
+	latMul   = 3
+	latDiv   = 20
+	latLoad  = 2
+	latMiss  = 20
+	latAMO   = 8
+	latCSR   = 4
+	latFence = 6
+)
+
+var trapCauses = []uint64{
+	isa.ExcInstAddrMisaligned, isa.ExcInstAccessFault, isa.ExcIllegalInstruction,
+	isa.ExcBreakpoint, isa.ExcLoadAddrMisaligned, isa.ExcLoadAccessFault,
+	isa.ExcStoreAddrMisaligned, isa.ExcStoreAccessFault, isa.ExcECallFromU,
+	isa.ExcECallFromM,
+}
+
+type points struct {
+	// Frontend.
+	icacheHit, fetchFault, fenceiFlush          cov.PointID
+	bundleFull, bundleHasBranch                 cov.PointID
+	btbHit, bhtPredTaken, rasEmpty, rasOverflow cov.PointID
+	// Decode / rename.
+	illegal, compressed                      cov.PointID
+	freelistEmpty, rdX0Skip, src1Busy, src2Busy cov.PointID
+	opSeen                                   [isa.NumOps]cov.PointID
+	// ROB / issue.
+	robFull, robEmpty, commitBundleFull cov.PointID
+	flushMispredict, flushException     cov.PointID
+	iqFull, wakeupMatch, dualIssue      cov.PointID
+	// Branch resolution.
+	brTaken, brMispredict, brBackward cov.PointID
+	jalrRet, jalrCall                 cov.PointID
+	// LSU / D-cache.
+	sqFull, loadForward, partialOverlap            cov.PointID
+	dcacheHit, dcacheEvictDirty                    cov.PointID
+	memMisaligned, memFault                        cov.PointID
+	scSuccess, resValidAtSC, storeBreaksRes, tohostWrite cov.PointID
+	// MUL/DIV.
+	divByZero, divOverflow, mdWord, mdSigned cov.PointID
+	// Traps, privilege, CSR.
+	trapTaken, trapFromU, inUMode, mppIsM cov.PointID
+	trapCause                             map[uint64]cov.PointID
+	csrPrivViol, csrReadOnly              cov.PointID
+	csrAddr                               map[uint16]cov.PointID
+	// Tied-off conditions (no interrupt/debug stimulus).
+	tieFalse []cov.PointID
+}
+
+// Boom is the DUT factory.
+type Boom struct {
+	space *cov.Space
+	p     points
+}
+
+var _ rtl.DUT = (*Boom)(nil)
+
+// New builds the BOOM model and its condition space.
+func New() *Boom {
+	s := cov.NewSpace()
+	var p points
+
+	p.icacheHit = s.Define("frontend.icache.hit")
+	p.fetchFault = s.Define("frontend.fetch.access_fault")
+	p.fenceiFlush = s.Define("frontend.icache.fencei_flush")
+	p.bundleFull = s.Define("frontend.fetch.bundle_full")
+	p.bundleHasBranch = s.Define("frontend.fetch.bundle_has_branch")
+	p.btbHit = s.Define("frontend.btb.hit")
+	p.bhtPredTaken = s.Define("frontend.bht.pred_taken")
+	p.rasEmpty = s.Define("frontend.ras.pop_empty")
+	p.rasOverflow = s.Define("frontend.ras.push_overflow")
+
+	p.illegal = s.Define("decode.illegal")
+	p.compressed = s.Define("decode.compressed_parcel")
+	p.freelistEmpty = s.Define("rename.freelist_empty")
+	p.rdX0Skip = s.Define("rename.rd_x0_no_alloc")
+	p.src1Busy = s.Define("rename.src1_busy")
+	p.src2Busy = s.Define("rename.src2_busy")
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		p.opSeen[op] = s.Define("decode.op." + op.String())
+	}
+
+	p.robFull = s.Define("rob.full_stall")
+	p.robEmpty = s.Define("rob.empty_at_dispatch")
+	p.commitBundleFull = s.Define("rob.commit_bundle_full")
+	p.flushMispredict = s.Define("rob.flush_branch_mispredict")
+	p.flushException = s.Define("rob.flush_exception")
+	p.iqFull = s.Define("issue.queue_full_stall")
+	p.wakeupMatch = s.Define("issue.wakeup_tag_match")
+	p.dualIssue = s.Define("issue.dual_issue")
+
+	p.brTaken = s.Define("branch.taken")
+	p.brMispredict = s.Define("branch.direction_mispredict")
+	p.brBackward = s.Define("branch.backward")
+	p.jalrRet = s.Define("branch.jalr_is_ret")
+	p.jalrCall = s.Define("branch.jalr_is_call")
+
+	p.sqFull = s.Define("lsu.store_queue_full")
+	p.loadForward = s.Define("lsu.store_to_load_forward")
+	p.partialOverlap = s.Define("lsu.partial_address_overlap")
+	p.dcacheHit = s.Define("dcache.hit")
+	p.dcacheEvictDirty = s.Define("dcache.evict_dirty_writeback")
+	p.memMisaligned = s.Define("lsu.addr_misaligned")
+	p.memFault = s.Define("lsu.access_fault")
+	p.scSuccess = s.Define("lsu.sc_success")
+	p.resValidAtSC = s.Define("lsu.reservation_valid_at_sc")
+	p.storeBreaksRes = s.Define("lsu.store_breaks_reservation")
+	p.tohostWrite = s.Define("lsu.tohost_write")
+
+	p.divByZero = s.Define("muldiv.div_by_zero")
+	p.divOverflow = s.Define("muldiv.div_overflow")
+	p.mdWord = s.Define("muldiv.word_op")
+	p.mdSigned = s.Define("muldiv.signed_op")
+
+	p.trapTaken = s.Define("trap.taken")
+	p.trapFromU = s.Define("trap.from_umode")
+	p.inUMode = s.Define("priv.in_umode")
+	p.mppIsM = s.Define("priv.mret_mpp_is_m")
+	p.trapCause = make(map[uint64]cov.PointID, len(trapCauses))
+	for _, c := range trapCauses {
+		p.trapCause[c] = s.Define("trap.cause." + isa.ExcName(c))
+	}
+	p.csrPrivViol = s.Define("csr.privilege_violation")
+	p.csrReadOnly = s.Define("csr.write_to_readonly")
+	p.csrAddr = make(map[uint16]cov.PointID, len(isa.KnownCSRs))
+	for _, a := range isa.KnownCSRs {
+		p.csrAddr[a] = s.Define("csr.addr." + isa.CSRName(a))
+	}
+
+	for _, name := range []string{
+		"interrupt.msip_pending", "interrupt.mtip_pending", "interrupt.meip_pending",
+		"interrupt.taken", "debug.halt_request", "dcache.ecc_error",
+	} {
+		p.tieFalse = append(p.tieFalse, s.Define("tieoff."+name))
+	}
+	for _, name := range []string{
+		"vm.sv39_mode", "vm.page_fault", "debug.abstract_cmd", "pmp.any_match",
+	} {
+		s.Define("dead." + name)
+	}
+
+	return &Boom{space: s, p: p}
+}
+
+// Name implements rtl.DUT.
+func (b *Boom) Name() string { return "boom" }
+
+// Space implements rtl.DUT.
+func (b *Boom) Space() *cov.Space { return b.space }
+
+// inflight is one ROB entry in the timing model.
+type inflight struct {
+	done    uint64 // completion cycle
+	isStore bool
+}
+
+// pendingStore models a store-queue entry for forwarding conditions.
+type pendingStore struct {
+	addr  uint64
+	width int
+}
+
+type run struct {
+	b   *Boom
+	m   *mem.Memory
+	pc  uint64
+	x   [32]uint64
+	prv isa.Priv
+	csr hart.CSRFile
+
+	resValid bool
+	resAddr  uint64
+
+	ic  *uarch.ICache
+	dc  *uarch.TimingCache
+	bht *uarch.BHT
+	btb *uarch.BTB
+	ras *uarch.RAS
+
+	set     *cov.Set
+	cycles  uint64
+	opCount [isa.NumOps]uint32
+	decoded uint64
+	tr      []trace.Entry
+
+	halted   bool
+	exitCode uint64
+
+	// Timing model.
+	rob       []inflight
+	sq        []pendingStore
+	busyReg   [32]uint64 // cycle at which the architectural reg is ready
+	fetchBuf  int        // instructions left in the current fetch bundle
+	lastIssue uint64     // cycle of the previous issue (dual-issue cond)
+
+	amoRdVal uint64
+}
+
+// Run implements rtl.DUT.
+func (b *Boom) Run(img mem.Image, maxInsts int) rtl.Result {
+	m := mem.Platform()
+	m.Load(img)
+	st := &run{
+		b:   b,
+		m:   m,
+		pc:  img.Entry,
+		prv: isa.PrivM,
+		csr: hart.CSRFile{MPP: isa.PrivU},
+		ic:  uarch.NewICache(uarch.CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}),
+		dc:  uarch.NewTimingCache(uarch.CacheConfig{Sets: 64, Ways: 8, LineBytes: 64}),
+		bht: uarch.NewBHT(512),
+		btb: uarch.NewBTB(64),
+		ras: uarch.NewRAS(8),
+		set: b.space.NewSet(),
+	}
+	for i := 0; i < maxInsts && !st.halted; i++ {
+		st.step()
+	}
+	st.finalize()
+	return rtl.Result{
+		Trace:    st.tr,
+		Coverage: st.set,
+		Cycles:   st.cycles,
+		Halted:   st.halted,
+		ExitCode: st.exitCode,
+		Regs:     st.x,
+	}
+}
+
+func (st *run) charge(c uint64) { st.cycles += c; st.csr.Cycle += c }
+
+// retire drains completed ROB entries up to the current cycle,
+// recording commit-bundle conditions.
+func (st *run) retire() {
+	p := &st.b.p
+	committed := 0
+	for len(st.rob) > 0 && st.rob[0].done <= st.cycles && committed < commitWidth {
+		st.rob = st.rob[1:]
+		committed++
+	}
+	if committed > 0 {
+		st.set.Cond(p.commitBundleFull, committed == commitWidth)
+	}
+}
+
+// dispatch inserts an instruction into the timing model and returns
+// its completion cycle.
+func (st *run) dispatch(lat uint64, isStore bool) {
+	p := &st.b.p
+	st.retire()
+	if st.set.Cond(p.robFull, len(st.rob) >= robSize) {
+		// Stall until the oldest entry commits.
+		st.charge(st.rob[0].done - st.cycles + 1)
+		st.retire()
+	}
+	st.set.Cond(p.robEmpty, len(st.rob) == 0)
+	st.set.Cond(p.iqFull, len(st.rob) >= iqSize) // issue window is a ROB prefix here
+	st.rob = append(st.rob, inflight{done: st.cycles + lat, isStore: isStore})
+}
+
+// flush squashes all in-flight state (mispredict or exception).
+func (st *run) flush(mispredict bool) {
+	p := &st.b.p
+	st.set.Cond(p.flushMispredict, mispredict)
+	st.set.Cond(p.flushException, !mispredict)
+	st.rob = st.rob[:0]
+	st.sq = st.sq[:0]
+	st.fetchBuf = 0
+	st.charge(flushPenalty)
+}
+
+func (st *run) trap(e *trace.Entry, cause, tval uint64) {
+	p := &st.b.p
+	e.Trap, e.Cause, e.TVal = true, cause, tval
+	st.set.Cond(p.trapFromU, st.prv == isa.PrivU)
+	for _, c := range trapCauses {
+		st.set.Cond(p.trapCause[c], c == cause)
+	}
+	st.pc, st.prv = st.csr.TakeTrap(st.pc, cause, tval, st.prv)
+	st.resValid = false
+	st.flush(false)
+}
+
+func (st *run) setReg(rd isa.Reg, v uint64) {
+	if rd != 0 {
+		st.x[rd] = v
+	}
+}
+
+func resGranule(addr uint64) uint64 { return addr &^ 7 }
+
+// noteStore pushes a store-queue entry and records forwarding
+// conditions for subsequent loads.
+func (st *run) noteStore(addr uint64, width int) {
+	p := &st.b.p
+	if st.set.Cond(p.sqFull, len(st.sq) >= sqSize) {
+		st.sq = st.sq[1:]
+	}
+	st.sq = append(st.sq, pendingStore{addr: addr, width: width})
+}
+
+// observeLoad records store-to-load forwarding conditions against the
+// store queue.
+func (st *run) observeLoad(addr uint64, width int) {
+	p := &st.b.p
+	forward, partial := false, false
+	for _, s := range st.sq {
+		if s.addr == addr && s.width == width {
+			forward = true
+		} else if addr < s.addr+uint64(s.width) && s.addr < addr+uint64(width) {
+			partial = true
+		}
+	}
+	st.set.Cond(p.loadForward, forward)
+	st.set.Cond(p.partialOverlap, partial)
+}
+
+func (st *run) step() {
+	p := &st.b.p
+	c := st.set
+	st.charge(1)
+	st.retire()
+
+	e := trace.Entry{PC: st.pc, Priv: st.prv}
+	defer func() { st.tr = append(st.tr, e) }()
+
+	c.Cond(p.inUMode, st.prv == isa.PrivU)
+
+	// --- Fetch (2-wide bundles) ---
+	if st.fetchBuf == 0 {
+		st.fetchBuf = 2
+		c.Cond(p.bundleFull, true)
+	}
+	st.fetchBuf--
+	if c.Cond(p.fetchFault, !st.m.Mapped(st.pc, 4)) {
+		c.Cond(p.trapTaken, true)
+		st.trap(&e, isa.ExcInstAccessFault, st.pc)
+		return
+	}
+	raw, hit := st.ic.Fetch(st.pc, st.m)
+	if !c.Cond(p.icacheHit, hit) {
+		st.charge(latMiss)
+	}
+	e.Raw = raw
+
+	// --- Decode / rename ---
+	inst := isa.Decode(raw)
+	e.Op = inst.Op
+	st.decoded++
+	st.opCount[inst.Op]++
+	c.Cond(p.compressed, raw&3 != 3)
+	if c.Cond(p.illegal, !inst.Valid()) {
+		c.Cond(p.trapTaken, true)
+		st.trap(&e, isa.ExcIllegalInstruction, uint64(raw))
+		return
+	}
+	c.Cond(p.bundleHasBranch, inst.Op.IsAny(isa.ClassBranch|isa.ClassJump))
+	c.Cond(p.rdX0Skip, inst.Rd == 0 && inst.WritesRd())
+	c.Cond(p.freelistEmpty, len(st.rob) >= robSize-1)
+	src1Busy := inst.Rs1 != 0 && st.busyReg[inst.Rs1] > st.cycles
+	src2Busy := inst.Rs2 != 0 && st.busyReg[inst.Rs2] > st.cycles
+	c.Cond(p.src1Busy, src1Busy)
+	c.Cond(p.src2Busy, src2Busy)
+	c.Cond(p.wakeupMatch, src1Busy || src2Busy)
+	c.Cond(p.dualIssue, st.lastIssue == st.cycles)
+	st.lastIssue = st.cycles
+
+	op := inst.Op
+	a, b := st.x[inst.Rs1], st.x[inst.Rs2]
+	nextPC := st.pc + 4
+	rdWrite := false
+	var rdVal uint64
+	lat := uint64(latALU)
+	isStore := false
+
+	trapped := false
+	doTrap := func(cause, tval uint64) {
+		trapped = true
+		c.Cond(p.trapTaken, true)
+		st.trap(&e, cause, tval)
+	}
+
+	switch {
+	case op == isa.OpLUI:
+		rdWrite, rdVal = true, uint64(inst.Imm)
+	case op == isa.OpAUIPC:
+		rdWrite, rdVal = true, st.pc+uint64(inst.Imm)
+	case op == isa.OpJAL:
+		target := st.pc + uint64(inst.Imm)
+		st.btbObserve(target)
+		if target%4 != 0 {
+			doTrap(isa.ExcInstAddrMisaligned, target)
+			return
+		}
+		if inst.Rd == isa.RA {
+			c.Cond(p.rasOverflow, st.ras.Push(st.pc+4))
+		}
+		rdWrite, rdVal = true, st.pc+4
+		nextPC = target
+	case op == isa.OpJALR:
+		target := (a + uint64(inst.Imm)) &^ 1
+		isRet := inst.Rs1 == isa.RA && inst.Rd == 0
+		c.Cond(p.jalrRet, isRet)
+		c.Cond(p.jalrCall, inst.Rd == isa.RA)
+		if isRet {
+			pred, ok := st.ras.Pop()
+			c.Cond(p.rasEmpty, !ok)
+			if ok && pred != target {
+				st.flush(true)
+			}
+		} else {
+			st.btbObserve(target)
+		}
+		if inst.Rd == isa.RA {
+			c.Cond(p.rasOverflow, st.ras.Push(st.pc+4))
+		}
+		if target%4 != 0 {
+			doTrap(isa.ExcInstAddrMisaligned, target)
+			return
+		}
+		rdWrite, rdVal = true, st.pc+4
+		nextPC = target
+	case op.Is(isa.ClassBranch):
+		taken := isa.BranchTaken(op, a, b)
+		pred := st.bht.Predict(st.pc)
+		c.Cond(p.bhtPredTaken, pred)
+		c.Cond(p.brTaken, taken)
+		c.Cond(p.brBackward, inst.Imm < 0)
+		if c.Cond(p.brMispredict, pred != taken) {
+			st.flush(true)
+		}
+		st.bht.Update(st.pc, taken)
+		if taken {
+			target := st.pc + uint64(inst.Imm)
+			st.btbObserve(target)
+			if target%4 != 0 {
+				doTrap(isa.ExcInstAddrMisaligned, target)
+				return
+			}
+			nextPC = target
+		}
+	case op.Is(isa.ClassLoad) && !op.Is(isa.ClassAMO):
+		addr := a + uint64(inst.Imm)
+		width, signed := isa.MemWidth(op)
+		// Spec-conformant priority (BOOM carries no Finding1).
+		if c.Cond(p.memMisaligned, addr%uint64(width) != 0) {
+			doTrap(isa.ExcLoadAddrMisaligned, addr)
+			return
+		}
+		if c.Cond(p.memFault, !st.m.Mapped(addr, width)) {
+			doTrap(isa.ExcLoadAccessFault, addr)
+			return
+		}
+		st.observeLoad(addr, width)
+		lat = latLoad
+		if !c.Cond(p.dcacheHit, st.dcAccess(addr, false)) {
+			lat += latMiss
+		}
+		v := st.m.ReadUint(addr, width)
+		if signed {
+			shift := uint(64 - 8*width)
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		rdWrite, rdVal = true, v
+		e.MemValid, e.MemAddr = true, addr
+	case op.Is(isa.ClassStore) && !op.Is(isa.ClassAMO):
+		addr := a + uint64(inst.Imm)
+		width, _ := isa.MemWidth(op)
+		if c.Cond(p.memMisaligned, addr%uint64(width) != 0) {
+			doTrap(isa.ExcStoreAddrMisaligned, addr)
+			return
+		}
+		if c.Cond(p.memFault, !st.m.Mapped(addr, width)) {
+			doTrap(isa.ExcStoreAccessFault, addr)
+			return
+		}
+		if !c.Cond(p.dcacheHit, st.dcAccess(addr, true)) {
+			lat += latMiss
+		}
+		st.noteStore(addr, width)
+		st.m.WriteUint(addr, b, width)
+		isStore = true
+		if c.Cond(p.storeBreaksRes, st.resValid && resGranule(addr) == st.resAddr) {
+			st.resValid = false
+		}
+		e.MemValid, e.MemAddr, e.MemWrite = true, addr, true
+		if c.Cond(p.tohostWrite, addr == mem.Tohost && width == 8 && b != 0) {
+			st.halted, st.exitCode = true, b
+		}
+	case op.Is(isa.ClassAMO):
+		if !st.execAMO(inst, &e, doTrap) {
+			return
+		}
+		rdWrite, rdVal = true, st.amoRdVal
+		lat = latAMO
+	case op.Is(isa.ClassALU) || op.IsAny(isa.ClassMul|isa.ClassDiv):
+		src := b
+		switch op.Format() {
+		case isa.FmtI, isa.FmtShift, isa.FmtShiftW:
+			src = uint64(inst.Imm)
+		}
+		if op.IsAny(isa.ClassMul | isa.ClassDiv) {
+			st.observeMulDiv(op, a, src)
+			if op.Is(isa.ClassDiv) {
+				lat = latDiv
+			} else {
+				lat = latMul
+			}
+		}
+		rdWrite, rdVal = true, isa.ALU(op, a, src)
+	case op.Is(isa.ClassCSR):
+		st.observeCSR(inst)
+		old, ok := st.csr.ExecCSR(inst, a, st.prv)
+		if !ok {
+			doTrap(isa.ExcIllegalInstruction, uint64(raw))
+			return
+		}
+		lat = latCSR
+		rdWrite, rdVal = true, old
+	case op == isa.OpFENCE:
+		lat = latFence
+	case op == isa.OpFENCEI:
+		c.Cond(p.fenceiFlush, true)
+		st.ic.Flush()
+		lat = latFence
+	case op == isa.OpECALL:
+		if st.prv == isa.PrivM {
+			doTrap(isa.ExcECallFromM, 0)
+		} else {
+			doTrap(isa.ExcECallFromU, 0)
+		}
+		return
+	case op == isa.OpEBREAK:
+		doTrap(isa.ExcBreakpoint, st.pc)
+		return
+	case op == isa.OpMRET:
+		if st.prv != isa.PrivM {
+			doTrap(isa.ExcIllegalInstruction, uint64(raw))
+			return
+		}
+		c.Cond(p.mppIsM, st.csr.MPP == isa.PrivM)
+		nextPC, st.prv = st.csr.MRet()
+		st.flush(false)
+	case op == isa.OpWFI:
+		// No interrupts: retires immediately.
+	}
+	if trapped {
+		return
+	}
+	c.Cond(p.trapTaken, false)
+
+	st.dispatch(lat, isStore)
+	if rdWrite {
+		st.setReg(inst.Rd, rdVal)
+		if inst.Rd != 0 {
+			st.busyReg[inst.Rd] = st.cycles + lat
+			e.RdValid, e.Rd, e.RdVal = true, inst.Rd, rdVal
+		}
+	}
+	st.pc = nextPC
+	st.csr.Instret++
+}
+
+func (st *run) dcAccess(addr uint64, write bool) bool {
+	res := st.dc.Access(addr, write)
+	if st.set.Cond(st.b.p.dcacheEvictDirty, res.WritebackReq) {
+		st.charge(3)
+	}
+	return res.Hit
+}
+
+func (st *run) btbObserve(target uint64) {
+	p := &st.b.p
+	predTarget, hit := st.btb.Lookup(st.pc)
+	st.set.Cond(p.btbHit, hit)
+	if !hit || predTarget != target {
+		st.charge(2)
+	}
+	st.btb.Update(st.pc, target)
+}
+
+func (st *run) observeMulDiv(op isa.Op, a, b uint64) {
+	p := &st.b.p
+	c := st.set
+	word := op.Is(isa.ClassW)
+	c.Cond(p.mdWord, word)
+	signed := op == isa.OpMUL || op == isa.OpMULH || op == isa.OpDIV || op == isa.OpREM ||
+		op == isa.OpMULW || op == isa.OpDIVW || op == isa.OpREMW || op == isa.OpMULHSU
+	c.Cond(p.mdSigned, signed)
+	if op.Is(isa.ClassDiv) {
+		if word {
+			c.Cond(p.divByZero, uint32(b) == 0)
+			c.Cond(p.divOverflow, int32(uint32(a)) == -1<<31 && int32(uint32(b)) == -1)
+		} else {
+			c.Cond(p.divByZero, b == 0)
+			c.Cond(p.divOverflow, int64(a) == -1<<63 && int64(b) == -1)
+		}
+	}
+}
+
+func (st *run) observeCSR(inst isa.Inst) {
+	p := &st.b.p
+	c := st.set
+	for addr, id := range p.csrAddr {
+		c.Cond(id, addr == inst.CSR)
+	}
+	_, readable := st.csr.Read(inst.CSR, st.prv)
+	_, readableM := st.csr.Read(inst.CSR, isa.PrivM)
+	c.Cond(p.csrPrivViol, !readable && readableM)
+	writes := inst.Op == isa.OpCSRRW || inst.Op == isa.OpCSRRWI ||
+		(inst.Op == isa.OpCSRRS && inst.Rs1 != 0) || (inst.Op == isa.OpCSRRC && inst.Rs1 != 0) ||
+		((inst.Op == isa.OpCSRRSI || inst.Op == isa.OpCSRRCI) && inst.Imm != 0)
+	c.Cond(p.csrReadOnly, writes && inst.CSR>>10 == 3)
+}
+
+// execAMO handles the A extension with spec-conformant priority.
+func (st *run) execAMO(inst isa.Inst, e *trace.Entry, doTrap func(cause, tval uint64)) bool {
+	p := &st.b.p
+	c := st.set
+	op := inst.Op
+	addr := st.x[inst.Rs1]
+	width, signed := isa.MemWidth(op)
+
+	misCause, accCause := isa.ExcStoreAddrMisaligned, isa.ExcStoreAccessFault
+	if op == isa.OpLRW || op == isa.OpLRD {
+		misCause, accCause = isa.ExcLoadAddrMisaligned, isa.ExcLoadAccessFault
+	}
+	if c.Cond(p.memMisaligned, addr%uint64(width) != 0) {
+		doTrap(misCause, addr)
+		return false
+	}
+	if c.Cond(p.memFault, !st.m.Mapped(addr, width)) {
+		doTrap(accCause, addr)
+		return false
+	}
+
+	sext := func(v uint64) uint64 {
+		if signed && width == 4 {
+			return uint64(int64(int32(uint32(v))))
+		}
+		return v
+	}
+
+	c.Cond(p.dcacheHit, st.dcAccess(addr, op != isa.OpLRW && op != isa.OpLRD))
+	switch op {
+	case isa.OpLRW, isa.OpLRD:
+		v := st.m.ReadUint(addr, width)
+		st.resValid, st.resAddr = true, resGranule(addr)
+		st.amoRdVal = sext(v)
+		e.MemValid, e.MemAddr = true, addr
+	case isa.OpSCW, isa.OpSCD:
+		match := st.resValid && resGranule(addr) == st.resAddr
+		c.Cond(p.resValidAtSC, st.resValid)
+		if c.Cond(p.scSuccess, match) {
+			st.m.WriteUint(addr, st.x[inst.Rs2], width)
+			st.amoRdVal = 0
+			e.MemValid, e.MemAddr, e.MemWrite = true, addr, true
+		} else {
+			st.amoRdVal = 1
+		}
+		st.resValid = false
+	default:
+		old := st.m.ReadUint(addr, width)
+		st.m.WriteUint(addr, isa.AMOApply(op, old, st.x[inst.Rs2]), width)
+		st.amoRdVal = sext(old)
+		e.MemValid, e.MemAddr, e.MemWrite = true, addr, true
+	}
+	return true
+}
+
+func (st *run) finalize() {
+	p := &st.b.p
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		n := uint64(st.opCount[op])
+		if n > 0 {
+			st.set.Cond(p.opSeen[op], true)
+		}
+		if st.decoded > n {
+			st.set.Cond(p.opSeen[op], false)
+		}
+	}
+	if st.decoded > 0 {
+		c := st.set
+		for _, id := range p.tieFalse {
+			c.Cond(id, false)
+		}
+		c.Cond(p.bundleFull, false) // partially-filled bundles occur at redirects
+	}
+}

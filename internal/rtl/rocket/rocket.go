@@ -1,0 +1,858 @@
+// Package rocket models the RocketCore DUT: an in-order, single-issue,
+// 5-stage RISC-V core with an L1 I-cache, L1 D-cache, branch
+// prediction (BHT + BTB + RAS), a multi-cycle MUL/DIV unit, M/U
+// privilege and machine traps — instrumented with VCS-style condition
+// coverage.
+//
+// The model deliberately contains the five RocketCore findings the
+// paper reports (see DESIGN.md §4):
+//
+//   - Bug1 (CWE-1202): the I-cache is not coherent with stores; only
+//     FENCE.I flushes it, so self-modifying code without FENCE.I
+//     executes stale instructions.
+//   - Bug2 (CWE-440): the tracer omits the destination-register write
+//     of MUL/DIV-class instructions.
+//   - Finding1: access faults are prioritised over address-misaligned
+//     exceptions (the spec and the ISS do the opposite).
+//   - Finding2: AMOs with rd=x0 report a write to x0 in the trace.
+//   - Finding3: loads with rd=x0 report a write to x0 in the trace.
+package rocket
+
+import (
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/hart"
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/uarch"
+	"chatfuzz/internal/trace"
+)
+
+// Cycle costs of microarchitectural events (approximate RocketCore
+// latencies; they drive the virtual wall-clock of the experiments).
+const (
+	cycBase        = 1
+	cycICacheMiss  = 18
+	cycDCacheMiss  = 24
+	cycWriteback   = 6
+	cycMispredict  = 3
+	cycLoadUse     = 1
+	cycMul         = 4
+	cycDiv         = 33
+	cycCSR         = 3
+	cycTrap        = 5
+	cycAMO         = 9
+	cycFenceI      = 12
+)
+
+// trapCauses are the synchronous causes this platform can raise; each
+// gets a condition point whose true bin requires triggering it.
+var trapCauses = []uint64{
+	isa.ExcInstAddrMisaligned, isa.ExcInstAccessFault, isa.ExcIllegalInstruction,
+	isa.ExcBreakpoint, isa.ExcLoadAddrMisaligned, isa.ExcLoadAccessFault,
+	isa.ExcStoreAddrMisaligned, isa.ExcStoreAccessFault, isa.ExcECallFromU,
+	isa.ExcECallFromM,
+}
+
+// points holds every condition-point id of the Rocket coverage space.
+type points struct {
+	// Frontend.
+	icacheHit, fetchFault, fenceiFlush               cov.PointID
+	btbHit, bhtPredTaken, rasOverflow, rasEmpty      cov.PointID
+	rasCorrect                                       cov.PointID
+	// Decode.
+	illegal, compressed, rdX0, rs1X0, rs2X0, immNeg cov.PointID
+	opSeen                                          [isa.NumOps]cov.PointID
+	// Pipeline hazards and bypasses.
+	loadUse, bypExRs1, bypExRs2, bypMemRs1, bypMemRs2 cov.PointID
+	muldivBusy, csrStall, wbX0                        cov.PointID
+	// Branch resolution.
+	brTaken, brMispredict, btbWrongTarget, brBackward cov.PointID
+	jalrRet, jalrCall                                 cov.PointID
+	// D-cache / LSU.
+	dcacheHit, dcacheEvictDirty, memMisaligned, memFault cov.PointID
+	scSuccess, resValidAtSC, storeBreaksRes, tohostWrite cov.PointID
+	// MUL/DIV unit.
+	divByZero, divOverflow, mdWord, mdSigned, mdSameSign cov.PointID
+	// ALU corner observations.
+	aluZero, shamtZero, opsEqual cov.PointID
+	// Traps, privilege, CSR.
+	trapTaken, trapFromU, inUMode, mppIsM cov.PointID
+	trapCause                             map[uint64]cov.PointID
+	csrPrivViol, csrReadOnly              cov.PointID
+	csrAddr                               map[uint16]cov.PointID
+	// Deep sequence-dependent families: these are the conditions that
+	// separate entangled generators from random ones.
+	opFwd         [isa.NumOps]cov.PointID // result of op X consumed by the next instruction
+	brTakenOp     map[isa.Op]cov.PointID  // per-branch-opcode taken
+	brBackTakenOp map[isa.Op]cov.PointID  // per-branch-opcode taken backward (loops)
+	loadFromText  cov.PointID
+	loadFromData  cov.PointID
+	storeToText   cov.PointID // self-modifying store (the Bug1 path)
+	storeToData   cov.PointID
+	memUnmapped   cov.PointID
+	trapCauseU    map[uint64]cov.PointID // cause raised while in U-mode
+	csrOpAddr     map[csrOpKey]cov.PointID
+	opInU         map[isa.Op]cov.PointID // op retired while in U-mode
+
+	// Tied-off-but-evaluated conditions (false every cycle on this
+	// platform: no interrupts, no debug module, no ECC errors). Their
+	// true bins are unreachable, exactly like the corresponding RTL.
+	tieFalse []cov.PointID
+}
+
+// csrOpKey indexes the CSR instruction × CSR address product family.
+type csrOpKey struct {
+	op  isa.Op
+	csr uint16
+}
+
+// csrProductAddrs are the CSRs tracked in the op×address family.
+var csrProductAddrs = []uint16{
+	isa.CSRMStatus, isa.CSRMTVec, isa.CSRMEPC, isa.CSRMScratch, isa.CSRMCycle,
+}
+
+var csrProductOps = []isa.Op{
+	isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC, isa.OpCSRRWI, isa.OpCSRRSI, isa.OpCSRRCI,
+}
+
+// uModeOps are the opcodes tracked by the "executed in U-mode" product
+// family — behaviour that requires constructing a privilege drop
+// (mepc/mstatus/mret) before exercising the unit in user mode.
+var uModeOps = []isa.Op{
+	isa.OpADD, isa.OpSUB, isa.OpSLL, isa.OpSLT, isa.OpSLTU, isa.OpXOR, isa.OpSRL,
+	isa.OpSRA, isa.OpOR, isa.OpAND, isa.OpADDI, isa.OpXORI, isa.OpORI, isa.OpANDI,
+	isa.OpSLTI, isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpADDW, isa.OpSUBW,
+	isa.OpADDIW, isa.OpSLLW, isa.OpLUI, isa.OpAUIPC, isa.OpJAL, isa.OpJALR,
+	isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU,
+	isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLD, isa.OpLBU, isa.OpSB, isa.OpSH,
+	isa.OpSW, isa.OpSD, isa.OpMUL, isa.OpMULH, isa.OpDIV, isa.OpREM, isa.OpMULW,
+	isa.OpECALL, isa.OpFENCE,
+}
+
+// Rocket is the DUT factory: it owns the coverage space; Run simulates
+// one test image with fresh microarchitectural state.
+type Rocket struct {
+	space *cov.Space
+	p     points
+}
+
+var _ rtl.DUT = (*Rocket)(nil)
+
+// New builds the Rocket model and its condition space.
+func New() *Rocket {
+	s := cov.NewSpace()
+	var p points
+
+	p.icacheHit = s.Define("frontend.icache.hit")
+	p.fetchFault = s.Define("frontend.fetch.access_fault")
+	p.fenceiFlush = s.Define("frontend.icache.fencei_flush")
+	p.btbHit = s.Define("frontend.btb.hit")
+	p.bhtPredTaken = s.Define("frontend.bht.pred_taken")
+	p.rasOverflow = s.Define("frontend.ras.push_overflow")
+	p.rasEmpty = s.Define("frontend.ras.pop_empty")
+	p.rasCorrect = s.Define("frontend.ras.pred_correct")
+
+	p.illegal = s.Define("decode.illegal")
+	p.compressed = s.Define("decode.compressed_parcel")
+	p.rdX0 = s.Define("decode.rd_is_x0")
+	p.rs1X0 = s.Define("decode.rs1_is_x0")
+	p.rs2X0 = s.Define("decode.rs2_is_x0")
+	p.immNeg = s.Define("decode.imm_negative")
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		p.opSeen[op] = s.Define("decode.op." + op.String())
+	}
+
+	p.loadUse = s.Define("pipe.hazard.load_use_stall")
+	p.bypExRs1 = s.Define("pipe.bypass.ex_to_rs1")
+	p.bypExRs2 = s.Define("pipe.bypass.ex_to_rs2")
+	p.bypMemRs1 = s.Define("pipe.bypass.mem_to_rs1")
+	p.bypMemRs2 = s.Define("pipe.bypass.mem_to_rs2")
+	p.muldivBusy = s.Define("pipe.hazard.muldiv_busy")
+	p.csrStall = s.Define("pipe.hazard.csr_serialize")
+	p.wbX0 = s.Define("pipe.wb.rd_is_x0")
+
+	p.brTaken = s.Define("branch.taken")
+	p.brMispredict = s.Define("branch.direction_mispredict")
+	p.btbWrongTarget = s.Define("branch.btb_target_wrong")
+	p.brBackward = s.Define("branch.backward")
+	p.jalrRet = s.Define("branch.jalr_is_ret")
+	p.jalrCall = s.Define("branch.jalr_is_call")
+
+	p.dcacheHit = s.Define("dcache.hit")
+	p.dcacheEvictDirty = s.Define("dcache.evict_dirty_writeback")
+	p.memMisaligned = s.Define("lsu.addr_misaligned")
+	p.memFault = s.Define("lsu.access_fault")
+	p.scSuccess = s.Define("lsu.sc_success")
+	p.resValidAtSC = s.Define("lsu.reservation_valid_at_sc")
+	p.storeBreaksRes = s.Define("lsu.store_breaks_reservation")
+	p.tohostWrite = s.Define("lsu.tohost_write")
+
+	p.divByZero = s.Define("muldiv.div_by_zero")
+	p.divOverflow = s.Define("muldiv.div_overflow")
+	p.mdWord = s.Define("muldiv.word_op")
+	p.mdSigned = s.Define("muldiv.signed_op")
+	p.mdSameSign = s.Define("muldiv.same_sign_operands")
+
+	p.aluZero = s.Define("alu.result_zero")
+	p.shamtZero = s.Define("alu.shamt_zero")
+	p.opsEqual = s.Define("alu.operands_equal")
+
+	p.trapTaken = s.Define("trap.taken")
+	p.trapFromU = s.Define("trap.from_umode")
+	p.inUMode = s.Define("priv.in_umode")
+	p.mppIsM = s.Define("priv.mret_mpp_is_m")
+	p.trapCause = make(map[uint64]cov.PointID, len(trapCauses))
+	for _, c := range trapCauses {
+		p.trapCause[c] = s.Define("trap.cause." + isa.ExcName(c))
+	}
+	p.csrPrivViol = s.Define("csr.privilege_violation")
+	p.csrReadOnly = s.Define("csr.write_to_readonly")
+	p.csrAddr = make(map[uint16]cov.PointID, len(isa.KnownCSRs))
+	for _, a := range isa.KnownCSRs {
+		p.csrAddr[a] = s.Define("csr.addr." + isa.CSRName(a))
+	}
+
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		p.opFwd[op] = s.Define("pipe.fwd.op." + op.String())
+	}
+	p.brTakenOp = make(map[isa.Op]cov.PointID)
+	p.brBackTakenOp = make(map[isa.Op]cov.PointID)
+	for _, op := range []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU} {
+		p.brTakenOp[op] = s.Define("branch.taken." + op.String())
+		p.brBackTakenOp[op] = s.Define("branch.taken_backward." + op.String())
+	}
+	p.loadFromText = s.Define("lsu.load_from_text")
+	p.loadFromData = s.Define("lsu.load_from_data")
+	p.storeToText = s.Define("lsu.store_to_text")
+	p.storeToData = s.Define("lsu.store_to_data")
+	p.memUnmapped = s.Define("lsu.addr_unmapped_region")
+	p.trapCauseU = make(map[uint64]cov.PointID, len(trapCauses))
+	for _, c := range trapCauses {
+		if c == isa.ExcECallFromM {
+			continue // cannot be raised from U-mode
+		}
+		p.trapCauseU[c] = s.Define("trap.umode_cause." + isa.ExcName(c))
+	}
+	p.csrOpAddr = make(map[csrOpKey]cov.PointID)
+	for _, op := range csrProductOps {
+		for _, addr := range csrProductAddrs {
+			p.csrOpAddr[csrOpKey{op, addr}] = s.Define("csr.access." + op.String() + "." + isa.CSRName(addr))
+		}
+	}
+	p.opInU = make(map[isa.Op]cov.PointID, len(uModeOps))
+	for _, op := range uModeOps {
+		p.opInU[op] = s.Define("priv.umode_op." + op.String())
+	}
+
+	for _, name := range []string{
+		"interrupt.msip_pending", "interrupt.mtip_pending", "interrupt.meip_pending",
+		"interrupt.taken", "debug.halt_request", "debug.single_step",
+		"dcache.ecc_error", "icache.parity_error", "buserr.slave_error",
+		"clint.mmio_access", "plic.mmio_access", "frontend.tlb_ptw_request",
+	} {
+		p.tieFalse = append(p.tieFalse, s.Define("tieoff."+name))
+	}
+	// Never-evaluated conditions: present in the RTL (PMP, Sv39 MMU,
+	// debug SBA) but without stimulus in this platform, they never
+	// evaluate — both bins stay unreachable, as on the real core.
+	for _, name := range []string{
+		"pmp.cfg0_match", "pmp.cfg1_match", "pmp.cfg2_match", "pmp.cfg3_match",
+		"pmp.cfg4_match", "pmp.cfg5_match", "pmp.cfg6_match", "pmp.cfg7_match",
+		"pmp.napot_decode", "pmp.tor_decode", "pmp.lock_bit",
+		"vm.sv39_mode", "vm.pte_valid", "vm.pte_leaf", "vm.page_fault_inst",
+		"vm.page_fault_load", "vm.page_fault_store", "vm.superpage",
+		"debug.sba_busy", "debug.abstract_cmd", "debug.progbuf_exec",
+	} {
+		s.Define("dead." + name)
+	}
+
+	return &Rocket{space: s, p: p}
+}
+
+// Name implements rtl.DUT.
+func (r *Rocket) Name() string { return "rocket" }
+
+// Space implements rtl.DUT.
+func (r *Rocket) Space() *cov.Space { return r.space }
+
+// run is the per-test simulation state.
+type run struct {
+	r   *Rocket
+	m   *mem.Memory
+	pc  uint64
+	x   [32]uint64
+	prv isa.Priv
+	csr hart.CSRFile
+
+	resValid bool
+	resAddr  uint64
+
+	ic  *uarch.ICache
+	dc  *uarch.TimingCache
+	bht *uarch.BHT
+	btb *uarch.BTB
+	ras *uarch.RAS
+
+	set      *cov.Set
+	cycles   uint64
+	opCount  [isa.NumOps]uint32
+	decoded  uint64
+	opCountU [isa.NumOps]uint32
+	decodedU uint64
+	tr       []trace.Entry
+
+	halted   bool
+	exitCode uint64
+
+	// Writeback bookkeeping of the previous two instructions for
+	// bypass/hazard conditions.
+	prevRd        isa.Reg
+	prevOp        isa.Op
+	prevWasLoad   bool
+	prev2Rd       isa.Reg
+	lastWasMulDiv bool
+
+	amoRdVal uint64 // rd result of the in-flight AMO
+}
+
+// Run implements rtl.DUT.
+func (r *Rocket) Run(img mem.Image, maxInsts int) rtl.Result {
+	m := mem.Platform()
+	m.Load(img)
+	st := &run{
+		r:   r,
+		m:   m,
+		pc:  img.Entry,
+		prv: isa.PrivM,
+		csr: hart.CSRFile{MPP: isa.PrivU},
+		ic:  uarch.NewICache(uarch.CacheConfig{Sets: 64, Ways: 2, LineBytes: 64}),
+		dc:  uarch.NewTimingCache(uarch.CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}),
+		bht: uarch.NewBHT(256),
+		btb: uarch.NewBTB(32),
+		ras: uarch.NewRAS(4),
+		set: r.space.NewSet(),
+	}
+	for i := 0; i < maxInsts && !st.halted; i++ {
+		st.step()
+	}
+	st.finalize()
+	return rtl.Result{
+		Trace:    st.tr,
+		Coverage: st.set,
+		Cycles:   st.cycles,
+		Halted:   st.halted,
+		ExitCode: st.exitCode,
+		Regs:     st.x,
+	}
+}
+
+func (st *run) charge(c uint64) { st.cycles += c; st.csr.Cycle += c }
+
+func (st *run) trap(e *trace.Entry, cause, tval uint64) {
+	p := &st.r.p
+	e.Trap, e.Cause, e.TVal = true, cause, tval
+	st.set.Cond(p.trapFromU, st.prv == isa.PrivU)
+	for _, c := range trapCauses {
+		st.set.Cond(p.trapCause[c], c == cause)
+	}
+	if st.prv == isa.PrivU {
+		for c, id := range p.trapCauseU {
+			st.set.Cond(id, c == cause)
+		}
+	}
+	st.pc, st.prv = st.csr.TakeTrap(st.pc, cause, tval, st.prv)
+	st.resValid = false
+	st.charge(cycTrap)
+	// A trap flushes the pipeline: no bypass sources survive.
+	st.prevRd, st.prev2Rd, st.prevWasLoad = 0, 0, false
+}
+
+func (st *run) setReg(rd isa.Reg, v uint64) {
+	if rd != 0 {
+		st.x[rd] = v
+	}
+}
+
+// step simulates one instruction through the modelled pipeline.
+func (st *run) step() {
+	p := &st.r.p
+	c := st.set
+	st.charge(cycBase)
+
+	e := trace.Entry{PC: st.pc, Priv: st.prv}
+	defer func() { st.tr = append(st.tr, e) }()
+
+	c.Cond(p.inUMode, st.prv == isa.PrivU)
+
+	// --- Fetch ---
+	if c.Cond(p.fetchFault, !st.m.Mapped(st.pc, 4)) {
+		st.set.Cond(p.trapTaken, true)
+		st.trap(&e, isa.ExcInstAccessFault, st.pc)
+		return
+	}
+	raw, hit := st.ic.Fetch(st.pc, st.m) // Bug1: possibly stale bytes
+	if !c.Cond(p.icacheHit, hit) {
+		st.charge(cycICacheMiss)
+	}
+	e.Raw = raw
+
+	// --- Decode ---
+	inst := isa.Decode(raw)
+	e.Op = inst.Op
+	st.decoded++
+	st.opCount[inst.Op]++
+	if st.prv == isa.PrivU {
+		st.decodedU++
+		st.opCountU[inst.Op]++
+	}
+	c.Cond(p.compressed, raw&3 != 3)
+	if c.Cond(p.illegal, !inst.Valid()) {
+		c.Cond(p.trapTaken, true)
+		st.trap(&e, isa.ExcIllegalInstruction, uint64(raw))
+		return
+	}
+	c.Cond(p.rdX0, inst.Rd == 0)
+	c.Cond(p.rs1X0, inst.Rs1 == 0)
+	c.Cond(p.rs2X0, inst.Rs2 == 0)
+	if inst.Op.Format() == isa.FmtI || inst.Op.Format() == isa.FmtS {
+		c.Cond(p.immNeg, inst.Imm < 0)
+	}
+
+	// --- Hazard & bypass observation (previous instructions' rd) ---
+	usesRs1 := inst.Rs1 != 0
+	usesRs2 := inst.Rs2 != 0 && (inst.Op.Format() == isa.FmtR || inst.Op.Format() == isa.FmtS ||
+		inst.Op.Format() == isa.FmtB || inst.Op.Format() == isa.FmtAMO)
+	if c.Cond(p.loadUse, st.prevWasLoad && st.prevRd != 0 &&
+		((usesRs1 && inst.Rs1 == st.prevRd) || (usesRs2 && inst.Rs2 == st.prevRd))) {
+		st.charge(cycLoadUse)
+	}
+	c.Cond(p.bypExRs1, usesRs1 && st.prevRd != 0 && inst.Rs1 == st.prevRd)
+	c.Cond(p.bypExRs2, usesRs2 && st.prevRd != 0 && inst.Rs2 == st.prevRd)
+	c.Cond(p.bypMemRs1, usesRs1 && st.prev2Rd != 0 && inst.Rs1 == st.prev2Rd)
+	c.Cond(p.bypMemRs2, usesRs2 && st.prev2Rd != 0 && inst.Rs2 == st.prev2Rd)
+	if st.prevOp != isa.OpIllegal && st.prevRd != 0 {
+		dependent := (usesRs1 && inst.Rs1 == st.prevRd) || (usesRs2 && inst.Rs2 == st.prevRd)
+		c.Cond(p.opFwd[st.prevOp], dependent)
+	}
+
+	op := inst.Op
+	a, b := st.x[inst.Rs1], st.x[inst.Rs2]
+	nextPC := st.pc + 4
+	rdWrite := false
+	var rdVal uint64
+
+	// MUL/DIV structural hazard: unit busy if the previous instruction
+	// was also MUL/DIV (single non-pipelined unit).
+	isMulDiv := op.IsAny(isa.ClassMul | isa.ClassDiv)
+	c.Cond(p.muldivBusy, isMulDiv && st.prevWasMulDiv())
+	c.Cond(p.csrStall, op.Is(isa.ClassCSR))
+
+	trapped := false
+	doTrap := func(cause, tval uint64) {
+		trapped = true
+		c.Cond(p.trapTaken, true)
+		st.trap(&e, cause, tval)
+	}
+
+	switch {
+	case op == isa.OpLUI:
+		rdWrite, rdVal = true, uint64(inst.Imm)
+	case op == isa.OpAUIPC:
+		rdWrite, rdVal = true, st.pc+uint64(inst.Imm)
+	case op == isa.OpJAL:
+		target := st.pc + uint64(inst.Imm)
+		st.btbObserve(target)
+		if target%4 != 0 {
+			doTrap(isa.ExcInstAddrMisaligned, target)
+			return
+		}
+		if inst.Rd == isa.RA {
+			c.Cond(p.rasOverflow, st.ras.Push(st.pc+4))
+		}
+		rdWrite, rdVal = true, st.pc+4
+		nextPC = target
+	case op == isa.OpJALR:
+		target := (a + uint64(inst.Imm)) &^ 1
+		isRet := inst.Rs1 == isa.RA && inst.Rd == 0
+		isCall := inst.Rd == isa.RA
+		c.Cond(p.jalrRet, isRet)
+		c.Cond(p.jalrCall, isCall)
+		if isRet {
+			pred, ok := st.ras.Pop()
+			c.Cond(p.rasEmpty, !ok)
+			if ok && !c.Cond(p.rasCorrect, pred == target) {
+				st.charge(cycMispredict)
+			}
+		} else {
+			st.btbObserve(target)
+		}
+		if isCall {
+			c.Cond(p.rasOverflow, st.ras.Push(st.pc+4))
+		}
+		if target%4 != 0 {
+			doTrap(isa.ExcInstAddrMisaligned, target)
+			return
+		}
+		rdWrite, rdVal = true, st.pc+4
+		nextPC = target
+	case op.Is(isa.ClassBranch):
+		taken := isa.BranchTaken(op, a, b)
+		pred := st.bht.Predict(st.pc)
+		c.Cond(p.bhtPredTaken, pred)
+		c.Cond(p.brTaken, taken)
+		c.Cond(p.brBackward, inst.Imm < 0)
+		c.Cond(p.brTakenOp[op], taken)
+		if taken {
+			c.Cond(p.brBackTakenOp[op], inst.Imm < 0)
+		}
+		if c.Cond(p.brMispredict, pred != taken) {
+			st.charge(cycMispredict)
+		}
+		st.bht.Update(st.pc, taken)
+		if taken {
+			target := st.pc + uint64(inst.Imm)
+			st.btbObserve(target)
+			if target%4 != 0 {
+				doTrap(isa.ExcInstAddrMisaligned, target)
+				return
+			}
+			nextPC = target
+		}
+	case op.Is(isa.ClassLoad) && !op.Is(isa.ClassAMO):
+		addr := a + uint64(inst.Imm)
+		width, signed := isa.MemWidth(op)
+		st.observeRegion(addr, false)
+		// Finding1: Rocket prioritises the access fault over the
+		// misaligned exception (the spec mandates the reverse).
+		if c.Cond(p.memFault, !st.m.Mapped(addr, width)) {
+			doTrap(isa.ExcLoadAccessFault, addr)
+			return
+		}
+		if c.Cond(p.memMisaligned, addr%uint64(width) != 0) {
+			doTrap(isa.ExcLoadAddrMisaligned, addr)
+			return
+		}
+		st.dcacheAccess(addr, false)
+		v := st.m.ReadUint(addr, width)
+		if signed {
+			shift := uint(64 - 8*width)
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		rdWrite, rdVal = true, v
+		e.MemValid, e.MemAddr = true, addr
+	case op.Is(isa.ClassStore) && !op.Is(isa.ClassAMO):
+		addr := a + uint64(inst.Imm)
+		width, _ := isa.MemWidth(op)
+		st.observeRegion(addr, true)
+		if c.Cond(p.memFault, !st.m.Mapped(addr, width)) {
+			doTrap(isa.ExcStoreAccessFault, addr)
+			return
+		}
+		if c.Cond(p.memMisaligned, addr%uint64(width) != 0) {
+			doTrap(isa.ExcStoreAddrMisaligned, addr)
+			return
+		}
+		st.dcacheAccess(addr, true)
+		st.m.WriteUint(addr, b, width)
+		if c.Cond(p.storeBreaksRes, st.resValid && resGranule(addr) == st.resAddr) {
+			st.resValid = false
+		}
+		e.MemValid, e.MemAddr, e.MemWrite = true, addr, true
+		if c.Cond(p.tohostWrite, addr == mem.Tohost && width == 8 && b != 0) {
+			st.halted, st.exitCode = true, b
+		}
+	case op.Is(isa.ClassAMO):
+		if !st.execAMO(inst, &e, doTrap) {
+			return
+		}
+		rdWrite, rdVal = true, st.amoRdVal
+		st.charge(cycAMO)
+	case op.Is(isa.ClassALU) || isMulDiv:
+		src := b
+		switch op.Format() {
+		case isa.FmtI, isa.FmtShift, isa.FmtShiftW:
+			src = uint64(inst.Imm)
+		}
+		if isMulDiv {
+			st.observeMulDiv(op, a, src)
+			if op.Is(isa.ClassDiv) {
+				st.charge(cycDiv)
+			} else {
+				st.charge(cycMul)
+			}
+		} else {
+			c.Cond(p.opsEqual, a == src)
+			if op == isa.OpSLL || op == isa.OpSRL || op == isa.OpSRA ||
+				op == isa.OpSLLI || op == isa.OpSRLI || op == isa.OpSRAI {
+				c.Cond(p.shamtZero, src&63 == 0)
+			}
+		}
+		rdWrite, rdVal = true, isa.ALU(op, a, src)
+		if !isMulDiv {
+			c.Cond(p.aluZero, rdVal == 0)
+		}
+	case op.Is(isa.ClassCSR):
+		st.observeCSR(inst)
+		old, ok := st.csr.ExecCSR(inst, a, st.prv)
+		if !ok {
+			doTrap(isa.ExcIllegalInstruction, uint64(raw))
+			return
+		}
+		st.charge(cycCSR)
+		rdWrite, rdVal = true, old
+	case op == isa.OpFENCE:
+		// Ordering no-op on this single-hart platform.
+	case op == isa.OpFENCEI:
+		c.Cond(p.fenceiFlush, true)
+		st.ic.Flush()
+		st.charge(cycFenceI)
+	case op == isa.OpECALL:
+		if st.prv == isa.PrivM {
+			doTrap(isa.ExcECallFromM, 0)
+		} else {
+			doTrap(isa.ExcECallFromU, 0)
+		}
+		return
+	case op == isa.OpEBREAK:
+		doTrap(isa.ExcBreakpoint, st.pc)
+		return
+	case op == isa.OpMRET:
+		if st.prv != isa.PrivM {
+			doTrap(isa.ExcIllegalInstruction, uint64(raw))
+			return
+		}
+		c.Cond(p.mppIsM, st.csr.MPP == isa.PrivM)
+		nextPC, st.prv = st.csr.MRet()
+	case op == isa.OpWFI:
+		// No interrupts on this platform: retires as a no-op.
+	}
+	if trapped {
+		return
+	}
+	c.Cond(p.trapTaken, false)
+
+	// --- Writeback & tracer ---
+	if rdWrite {
+		st.setReg(inst.Rd, rdVal)
+		c.Cond(p.wbX0, inst.Rd == 0)
+		st.emitRdWrite(&e, inst, rdVal)
+	}
+
+	st.pc = nextPC
+	st.csr.Instret++
+	st.prev2Rd = st.prevRd
+	if rdWrite {
+		st.prevRd = inst.Rd
+	} else {
+		st.prevRd = 0
+	}
+	st.prevOp = op
+	st.prevWasLoad = op.Is(isa.ClassLoad) && !op.Is(isa.ClassAMO)
+	st.lastWasMulDiv = isMulDiv
+}
+
+// emitRdWrite applies RocketCore's tracer behaviour, including Bug2,
+// Finding2 and Finding3. The register file itself is always updated
+// correctly; only the trace reporting is wrong.
+func (st *run) emitRdWrite(e *trace.Entry, inst isa.Inst, rdVal uint64) {
+	op := inst.Op
+	switch {
+	case op.IsAny(isa.ClassMul | isa.ClassDiv):
+		// Bug2 (CWE-440): the tracer drops MUL/DIV writebacks.
+		return
+	case inst.Rd == 0 && op.Is(isa.ClassAMO) && !isSC(op):
+		// Finding2: AMO with rd=x0 — the memory controller performs
+		// the operation and the tracer reports the loaded value as a
+		// write to x0.
+		e.RdValid, e.Rd, e.RdVal = true, 0, rdVal
+	case inst.Rd == 0 && op.Is(isa.ClassLoad) && !op.Is(isa.ClassAMO):
+		// Finding3: loads with rd=x0 appear as x0 writes in the trace.
+		e.RdValid, e.Rd, e.RdVal = true, 0, rdVal
+	case inst.Rd != 0:
+		e.RdValid, e.Rd, e.RdVal = true, inst.Rd, rdVal
+	}
+}
+
+func isSC(op isa.Op) bool { return op == isa.OpSCW || op == isa.OpSCD }
+
+// prevWasMulDiv reports whether the previous instruction occupied the
+// MUL/DIV unit.
+func (st *run) prevWasMulDiv() bool { return st.lastWasMulDiv }
+
+// btbObserve records BTB hit/target conditions for a taken control
+// transfer and trains the BTB.
+func (st *run) btbObserve(target uint64) {
+	p := &st.r.p
+	predTarget, hit := st.btb.Lookup(st.pc)
+	st.set.Cond(p.btbHit, hit)
+	if hit {
+		if st.set.Cond(p.btbWrongTarget, predTarget != target) {
+			st.charge(cycMispredict)
+		}
+	} else {
+		st.charge(cycMispredict)
+	}
+	st.btb.Update(st.pc, target)
+}
+
+// dcacheAccess runs the timing D-cache and records its conditions.
+func (st *run) dcacheAccess(addr uint64, write bool) {
+	p := &st.r.p
+	res := st.dc.Access(addr, write)
+	if !st.set.Cond(p.dcacheHit, res.Hit) {
+		st.charge(cycDCacheMiss)
+	}
+	if st.set.Cond(p.dcacheEvictDirty, res.WritebackReq) {
+		st.charge(cycWriteback)
+	}
+}
+
+// observeMulDiv records the MUL/DIV unit's conditions.
+func (st *run) observeMulDiv(op isa.Op, a, b uint64) {
+	p := &st.r.p
+	c := st.set
+	isDiv := op.Is(isa.ClassDiv)
+	word := op.Is(isa.ClassW)
+	c.Cond(p.mdWord, word)
+	signed := op == isa.OpMUL || op == isa.OpMULH || op == isa.OpDIV || op == isa.OpREM ||
+		op == isa.OpMULW || op == isa.OpDIVW || op == isa.OpREMW || op == isa.OpMULHSU
+	c.Cond(p.mdSigned, signed)
+	c.Cond(p.mdSameSign, int64(a) < 0 == (int64(b) < 0))
+	if isDiv {
+		if word {
+			c.Cond(p.divByZero, uint32(b) == 0)
+			c.Cond(p.divOverflow, int32(uint32(a)) == -1<<31 && int32(uint32(b)) == -1)
+		} else {
+			c.Cond(p.divByZero, b == 0)
+			c.Cond(p.divOverflow, int64(a) == -1<<63 && int64(b) == -1)
+		}
+	}
+}
+
+// observeRegion records which platform region a data access targets.
+func (st *run) observeRegion(addr uint64, write bool) {
+	p := &st.r.p
+	c := st.set
+	inText := addr >= mem.TextBase && addr < mem.TextBase+mem.TextSize
+	inData := addr >= mem.DataBase && addr < mem.DataBase+mem.DataSize
+	if write {
+		c.Cond(p.storeToText, inText)
+		c.Cond(p.storeToData, inData)
+	} else {
+		c.Cond(p.loadFromText, inText)
+		c.Cond(p.loadFromData, inData)
+	}
+	c.Cond(p.memUnmapped, !inText && !inData && addr != mem.Tohost)
+}
+
+// observeCSR records CSR address-match and permission conditions.
+func (st *run) observeCSR(inst isa.Inst) {
+	p := &st.r.p
+	c := st.set
+	for addr, id := range p.csrAddr {
+		c.Cond(id, addr == inst.CSR)
+	}
+	for k, id := range p.csrOpAddr {
+		c.Cond(id, k.op == inst.Op && k.csr == inst.CSR)
+	}
+	_, readable := st.csr.Read(inst.CSR, st.prv)
+	_, readableM := st.csr.Read(inst.CSR, isa.PrivM)
+	c.Cond(p.csrPrivViol, !readable && readableM)
+	// Write-to-read-only condition: a write is attempted and the CSR
+	// is in the read-only address space (top two bits set).
+	writes := inst.Op == isa.OpCSRRW || inst.Op == isa.OpCSRRWI ||
+		(inst.Op == isa.OpCSRRS && inst.Rs1 != 0) || (inst.Op == isa.OpCSRRC && inst.Rs1 != 0) ||
+		((inst.Op == isa.OpCSRRSI || inst.Op == isa.OpCSRRCI) && inst.Imm != 0)
+	c.Cond(p.csrReadOnly, writes && inst.CSR>>10 == 3)
+}
+
+func resGranule(addr uint64) uint64 { return addr &^ 7 }
+
+// execAMO handles the A extension with Rocket's Finding1 priority
+// inversion; returns false if the instruction trapped.
+func (st *run) execAMO(inst isa.Inst, e *trace.Entry, doTrap func(cause, tval uint64)) bool {
+	p := &st.r.p
+	c := st.set
+	op := inst.Op
+	addr := st.x[inst.Rs1]
+	width, signed := isa.MemWidth(op)
+
+	misCause, accCause := isa.ExcStoreAddrMisaligned, isa.ExcStoreAccessFault
+	if op == isa.OpLRW || op == isa.OpLRD {
+		misCause, accCause = isa.ExcLoadAddrMisaligned, isa.ExcLoadAccessFault
+	}
+	st.observeRegion(addr, op != isa.OpLRW && op != isa.OpLRD)
+	// Finding1 applies to AMOs too: access fault checked first.
+	if c.Cond(p.memFault, !st.m.Mapped(addr, width)) {
+		doTrap(accCause, addr)
+		return false
+	}
+	if c.Cond(p.memMisaligned, addr%uint64(width) != 0) {
+		doTrap(misCause, addr)
+		return false
+	}
+
+	sext := func(v uint64) uint64 {
+		if signed && width == 4 {
+			return uint64(int64(int32(uint32(v))))
+		}
+		return v
+	}
+
+	st.dcacheAccess(addr, op != isa.OpLRW && op != isa.OpLRD)
+	switch op {
+	case isa.OpLRW, isa.OpLRD:
+		v := st.m.ReadUint(addr, width)
+		st.resValid, st.resAddr = true, resGranule(addr)
+		st.amoRdVal = sext(v)
+		e.MemValid, e.MemAddr = true, addr
+	case isa.OpSCW, isa.OpSCD:
+		match := st.resValid && resGranule(addr) == st.resAddr
+		c.Cond(p.resValidAtSC, st.resValid)
+		if c.Cond(p.scSuccess, match) {
+			st.m.WriteUint(addr, st.x[inst.Rs2], width)
+			st.amoRdVal = 0
+			e.MemValid, e.MemAddr, e.MemWrite = true, addr, true
+		} else {
+			st.amoRdVal = 1
+		}
+		st.resValid = false
+	default:
+		old := st.m.ReadUint(addr, width)
+		st.m.WriteUint(addr, isa.AMOApply(op, old, st.x[inst.Rs2]), width)
+		st.amoRdVal = sext(old)
+		e.MemValid, e.MemAddr, e.MemWrite = true, addr, true
+	}
+	return true
+}
+
+// finalize converts the per-op decode counters into their condition
+// bins (exact lazy evaluation of "opcode == X" conditions) and records
+// the tied-off conditions.
+func (st *run) finalize() {
+	p := &st.r.p
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		n := uint64(st.opCount[op])
+		if n > 0 {
+			st.set.Cond(p.opSeen[op], true)
+		}
+		if st.decoded > n {
+			st.set.Cond(p.opSeen[op], false)
+		}
+	}
+	for _, op := range uModeOps {
+		n := uint64(st.opCountU[op])
+		if n > 0 {
+			st.set.Cond(p.opInU[op], true)
+		}
+		if st.decodedU > n {
+			st.set.Cond(p.opInU[op], false)
+		}
+	}
+	if st.decoded > 0 {
+		for _, id := range p.tieFalse {
+			st.set.Cond(id, false)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package rtl defines the interface between the fuzzers and the
+// simulated designs under test (the paper's Synopsys VCS + Chipyard
+// substitute). A DUT executes a test image cycle-by-cycle, emits a
+// commit trace, and records condition coverage into a fresh set per
+// run.
+package rtl
+
+import (
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/trace"
+)
+
+// Result is the outcome of simulating one test input on a DUT.
+type Result struct {
+	// Trace is the commit trace as reported by the DUT's tracer module
+	// (which, on Rocket, contains the injected tracer bugs).
+	Trace []trace.Entry
+	// Coverage is the set of condition bins this run hit.
+	Coverage *cov.Set
+	// Cycles is the number of simulated core cycles.
+	Cycles uint64
+	// Halted reports whether the program ended via the tohost store.
+	Halted bool
+	// ExitCode is the tohost value when Halted.
+	ExitCode uint64
+	// Regs is the final architectural register file, for differential
+	// debugging and tests.
+	Regs [32]uint64
+}
+
+// DUT is a simulated processor design.
+type DUT interface {
+	// Name identifies the design ("rocket" or "boom").
+	Name() string
+	// Space is the DUT's condition-coverage space, fixed at build time.
+	Space() *cov.Space
+	// Run simulates the image from reset until the program halts or
+	// maxInsts instructions have been attempted.
+	Run(img mem.Image, maxInsts int) Result
+}

@@ -1,0 +1,270 @@
+// Package uarch provides the microarchitectural building blocks shared
+// by the Rocket and BOOM core models: set-associative caches (a
+// tag-only timing cache and a data-holding instruction cache whose
+// stale lines realise Bug1), a gshare-less BHT, a BTB, and a return
+// address stack.
+//
+// The blocks are deliberately free of coverage hooks; the core models
+// observe their outcomes and record the condition points, so each core
+// has its own coverage space over the same structures.
+package uarch
+
+// CacheConfig sizes a set-associative cache.
+type CacheConfig struct {
+	Sets      int // power of two
+	Ways      int
+	LineBytes int // power of two
+}
+
+// lineAddr returns the line-aligned address and set index.
+func (c CacheConfig) lineAddr(addr uint64) (uint64, int) {
+	la := addr &^ uint64(c.LineBytes-1)
+	set := int(la/uint64(c.LineBytes)) & (c.Sets - 1)
+	return la, set
+}
+
+// TimingCache models hit/miss/eviction behaviour only; data always
+// flows to and from backing memory, so it is architecturally coherent.
+// Used for the D-cache.
+type TimingCache struct {
+	cfg   CacheConfig
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]uint64
+	tick  uint64
+}
+
+// NewTimingCache returns an empty timing cache.
+func NewTimingCache(cfg CacheConfig) *TimingCache {
+	t := &TimingCache{cfg: cfg}
+	t.tags = make([][]uint64, cfg.Sets)
+	t.valid = make([][]bool, cfg.Sets)
+	t.dirty = make([][]bool, cfg.Sets)
+	t.lru = make([][]uint64, cfg.Sets)
+	for s := 0; s < cfg.Sets; s++ {
+		t.tags[s] = make([]uint64, cfg.Ways)
+		t.valid[s] = make([]bool, cfg.Ways)
+		t.dirty[s] = make([]bool, cfg.Ways)
+		t.lru[s] = make([]uint64, cfg.Ways)
+	}
+	return t
+}
+
+// AccessResult describes one cache access.
+type AccessResult struct {
+	Hit          bool
+	Evicted      bool // a valid line was replaced
+	WritebackReq bool // the evicted line was dirty
+}
+
+// Access looks up addr, fills on miss (LRU replacement), and marks the
+// line dirty on writes.
+func (t *TimingCache) Access(addr uint64, write bool) AccessResult {
+	t.tick++
+	la, set := t.cfg.lineAddr(addr)
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.valid[set][w] && t.tags[set][w] == la {
+			t.lru[set][w] = t.tick
+			if write {
+				t.dirty[set][w] = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: pick invalid way, else LRU.
+	victim := 0
+	for w := 0; w < t.cfg.Ways; w++ {
+		if !t.valid[set][w] {
+			victim = w
+			t.valid[set][victim] = true
+			t.tags[set][victim] = la
+			t.dirty[set][victim] = write
+			t.lru[set][victim] = t.tick
+			return AccessResult{Hit: false}
+		}
+	}
+	for w := 1; w < t.cfg.Ways; w++ {
+		if t.lru[set][w] < t.lru[set][victim] {
+			victim = w
+		}
+	}
+	res := AccessResult{Hit: false, Evicted: true, WritebackReq: t.dirty[set][victim]}
+	t.tags[set][victim] = la
+	t.dirty[set][victim] = write
+	t.lru[set][victim] = t.tick
+	return res
+}
+
+// MemReader is the backing-memory read interface the ICache fills from.
+type MemReader interface {
+	LoadByte(addr uint64) byte
+}
+
+// ICache holds actual copies of instruction lines. Crucially, it is
+// NOT kept coherent with stores — the RISC-V spec requires software to
+// execute FENCE.I after writing instruction memory, and RocketCore
+// relies on that. A program that self-modifies without FENCE.I fetches
+// stale bytes here while the golden model executes the new ones: Bug1
+// (CWE-1202).
+type ICache struct {
+	cfg   CacheConfig
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	data  [][][]byte
+	tick  uint64
+}
+
+// NewICache returns an empty instruction cache.
+func NewICache(cfg CacheConfig) *ICache {
+	c := &ICache{cfg: cfg}
+	c.tags = make([][]uint64, cfg.Sets)
+	c.valid = make([][]bool, cfg.Sets)
+	c.lru = make([][]uint64, cfg.Sets)
+	c.data = make([][][]byte, cfg.Sets)
+	for s := 0; s < cfg.Sets; s++ {
+		c.tags[s] = make([]uint64, cfg.Ways)
+		c.valid[s] = make([]bool, cfg.Ways)
+		c.lru[s] = make([]uint64, cfg.Ways)
+		c.data[s] = make([][]byte, cfg.Ways)
+		for w := 0; w < cfg.Ways; w++ {
+			c.data[s][w] = make([]byte, cfg.LineBytes)
+		}
+	}
+	return c
+}
+
+// Fetch reads a 32-bit word at addr through the cache, filling the
+// line from m on a miss. The returned word comes from the cached copy,
+// which may be stale after unflushed stores.
+func (c *ICache) Fetch(addr uint64, m MemReader) (word uint32, hit bool) {
+	c.tick++
+	la, set := c.cfg.lineAddr(addr)
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == la {
+			way, hit = w, true
+			break
+		}
+	}
+	if way < 0 {
+		way = 0
+		for w := 0; w < c.cfg.Ways; w++ {
+			if !c.valid[set][w] {
+				way = w
+				break
+			}
+			if c.lru[set][w] < c.lru[set][way] {
+				way = w
+			}
+		}
+		for i := 0; i < c.cfg.LineBytes; i++ {
+			c.data[set][way][i] = m.LoadByte(la + uint64(i))
+		}
+		c.tags[set][way] = la
+		c.valid[set][way] = true
+	}
+	c.lru[set][way] = c.tick
+	off := int(addr - la)
+	d := c.data[set][way]
+	word = uint32(d[off]) | uint32(d[off+1])<<8 | uint32(d[off+2])<<16 | uint32(d[off+3])<<24
+	return word, hit
+}
+
+// Flush invalidates every line (FENCE.I).
+func (c *ICache) Flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+}
+
+// BHT is a table of 2-bit saturating counters.
+type BHT struct {
+	counters []uint8
+}
+
+// NewBHT returns a BHT with n entries (power of two), weakly not-taken.
+func NewBHT(n int) *BHT { return &BHT{counters: make([]uint8, n)} }
+
+func (b *BHT) index(pc uint64) int { return int(pc>>2) & (len(b.counters) - 1) }
+
+// Predict returns the taken prediction for pc.
+func (b *BHT) Predict(pc uint64) bool { return b.counters[b.index(pc)] >= 2 }
+
+// Update trains the counter with the actual outcome.
+func (b *BHT) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	if taken {
+		if b.counters[i] < 3 {
+			b.counters[i]++
+		}
+	} else if b.counters[i] > 0 {
+		b.counters[i]--
+	}
+}
+
+// BTB is a direct-mapped branch target buffer.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+}
+
+// NewBTB returns a BTB with n entries (power of two).
+func NewBTB(n int) *BTB {
+	return &BTB{tags: make([]uint64, n), targets: make([]uint64, n), valid: make([]bool, n)}
+}
+
+func (b *BTB) index(pc uint64) int { return int(pc>>2) & (len(b.tags) - 1) }
+
+// Lookup returns the predicted target for pc, if any.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	i := b.index(pc)
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	i := b.index(pc)
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+}
+
+// RAS is a fixed-depth return address stack.
+type RAS struct {
+	stack []uint64
+	depth int
+}
+
+// NewRAS returns a RAS with the given depth.
+func NewRAS(depth int) *RAS { return &RAS{depth: depth} }
+
+// Push records a return address; reports whether the stack overflowed
+// (oldest entry dropped).
+func (r *RAS) Push(addr uint64) (overflow bool) {
+	if len(r.stack) == r.depth {
+		copy(r.stack, r.stack[1:])
+		r.stack[len(r.stack)-1] = addr
+		return true
+	}
+	r.stack = append(r.stack, addr)
+	return false
+}
+
+// Pop returns the predicted return address; ok=false when empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if len(r.stack) == 0 {
+		return 0, false
+	}
+	addr = r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return addr, true
+}
+
+// Depth returns the current occupancy.
+func (r *RAS) Depth() int { return len(r.stack) }

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"chatfuzz/internal/isa"
+)
+
+func TestEntryString(t *testing.T) {
+	e := Entry{
+		PC: 0x80000000, Raw: isa.NOP, Op: isa.OpADDI,
+		RdValid: true, Rd: isa.A0, RdVal: 42, Priv: isa.PrivM,
+	}
+	s := e.String()
+	for _, want := range []string{"80000000", "addi", "a0", "[M]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestTrapEntryString(t *testing.T) {
+	e := Entry{PC: 0x100, Trap: true, Cause: isa.ExcLoadAccessFault, TVal: 0xDEAD, Priv: isa.PrivU}
+	s := e.String()
+	if !strings.Contains(s, "TRAP") || !strings.Contains(s, "load access fault") {
+		t.Errorf("trap string = %q", s)
+	}
+	if !strings.Contains(s, "[U]") {
+		t.Errorf("privilege missing: %q", s)
+	}
+}
+
+func TestDiffIdentifiesFirstField(t *testing.T) {
+	base := Entry{PC: 0x100, Raw: 0x13, RdValid: true, Rd: 1, RdVal: 5}
+	if Diff(base, base) != "" {
+		t.Error("identical entries must have empty diff")
+	}
+
+	b := base
+	b.PC = 0x104
+	if d := Diff(base, b); !strings.Contains(d, "pc") {
+		t.Errorf("diff = %q, want pc", d)
+	}
+
+	b = base
+	b.RdVal = 6
+	if d := Diff(base, b); !strings.Contains(d, "rdval") {
+		t.Errorf("diff = %q, want rdval", d)
+	}
+
+	b = base
+	b.RdValid = false
+	if d := Diff(base, b); !strings.Contains(d, "rd-write") {
+		t.Errorf("diff = %q, want rd-write", d)
+	}
+
+	a := Entry{PC: 0x100, Trap: true, Cause: 4}
+	b = Entry{PC: 0x100, Trap: true, Cause: 5}
+	if d := Diff(a, b); !strings.Contains(d, "cause") {
+		t.Errorf("diff = %q, want cause", d)
+	}
+}
+
+func TestMemEffectString(t *testing.T) {
+	e := Entry{PC: 0x100, MemValid: true, MemAddr: 0x80100000, MemWrite: true}
+	if !strings.Contains(e.String(), "mem[") || !strings.Contains(e.String(), "]W") {
+		t.Errorf("mem effect missing: %q", e.String())
+	}
+}
