@@ -13,6 +13,7 @@ import (
 
 	"chatfuzz/internal/baseline/randfuzz"
 	"chatfuzz/internal/baseline/thehuzz"
+	"chatfuzz/internal/campaign"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/corpus"
 	"chatfuzz/internal/iss"
@@ -20,6 +21,7 @@ import (
 	"chatfuzz/internal/ml/nn"
 	"chatfuzz/internal/ml/ppo"
 	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl"
 	"chatfuzz/internal/rtl/boom"
 	"chatfuzz/internal/rtl/rocket"
 )
@@ -242,6 +244,41 @@ func BenchmarkAblationBaselines(b *testing.B) {
 		b.ReportMetric(huzz.Coverage(), "thehuzz_%")
 		b.ReportMetric(valid.Coverage(), "random_%")
 		b.ReportMetric(rawF.Coverage(), "raw_%")
+	}
+}
+
+// BenchmarkCampaignOrchestrator runs the sharded multi-campaign
+// orchestrator (4 shards, bandit over LLM/TheHuzz/random arms) against
+// a single TheHuzz campaign at the same total test budget, reporting
+// the merged fleet coverage and the fleet's virtual wall-clock speedup
+// from sharding.
+func BenchmarkCampaignOrchestrator(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := campaign.New(campaign.Config{Shards: 4, BatchSize: 16, Seed: 1},
+			func() rtl.DUT { return rocket.New() },
+			campaign.LLMArm(p),
+			campaign.TheHuzzArm(benchBody),
+			campaign.RandInstArm(benchBody),
+			campaign.RandFuzzArm(benchBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		o.RunTests(320)
+
+		single := runBenchCampaign(thehuzz.New(1, benchBody), "rocket", 320, false)
+
+		b.ReportMetric(o.Coverage(), "fleet_%")
+		b.ReportMetric(single.Coverage(), "single_%")
+		if h := o.Hours(); h > 0 {
+			b.ReportMetric(single.Clk.Hours()/h, "speedup_x")
+		}
+		var pulls float64
+		for _, a := range o.Report().Arms {
+			pulls += float64(a.Pulls)
+		}
+		b.ReportMetric(pulls, "arm_pulls")
 	}
 }
 

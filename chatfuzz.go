@@ -5,7 +5,7 @@
 // RTL condition coverage, fuzzing simulated RocketCore/BOOM designs
 // with differential mismatch detection against a golden-model ISS.
 //
-// Quickstart:
+// Quickstart (single campaign):
 //
 //	cfg := chatfuzz.DefaultPipelineConfig()
 //	p := chatfuzz.NewPipeline(cfg)
@@ -15,11 +15,43 @@
 //	f := chatfuzz.NewFuzzer(gen, dut, chatfuzz.Options{BatchSize: 16, Detect: true})
 //	f.RunTests(500)
 //	fmt.Println(f.Coverage(), f.Det.Report())
+//
+// Campaign orchestrator quickstart (sharded fleet): instead of one
+// fuzzer, run N concurrent campaigns — each with its own DUT instance
+// and virtual clock — and let a discounted UCB1 bandit allocate each
+// round's batches among generator arms, rewarded by incremental merged
+// coverage per virtual hour. Shard coverage bitmaps are aggregated into
+// a fleet-global snapshot every round, and TheHuzz mutation pools are
+// synced across shards and seeded with every arm's coverage-advancing
+// programs:
+//
+//	o, err := chatfuzz.NewOrchestrator(
+//	    chatfuzz.CampaignConfig{Shards: 4, BatchSize: 16, Seed: 1},
+//	    chatfuzz.NewRocket,
+//	    chatfuzz.LLMArm(p), chatfuzz.TheHuzzArm(24),
+//	    chatfuzz.RandInstArm(24), chatfuzz.RandFuzzArm(24))
+//	o.RunTests(2000)
+//	fmt.Println(o.Report())          // merged coverage + per-arm pulls
+//	for _, pt := range o.Trajectory() { ... }  // fleet-level Fig. 2 curve
+//
+// Fleets checkpoint and resume deterministically: a resumed run's
+// merged trajectory is bit-identical to an uninterrupted one, because
+// generator seeds are a pure function of (campaign seed, shard, round)
+// and all scheduling state is serialized:
+//
+//	o.CheckpointFile("fleet.json")
+//	o2, err := chatfuzz.ResumeCampaignFile("fleet.json", chatfuzz.NewRocket,
+//	    chatfuzz.LLMArm(p), chatfuzz.TheHuzzArm(24),
+//	    chatfuzz.RandInstArm(24), chatfuzz.RandFuzzArm(24))
+//	o2.RunTests(4000)
 package chatfuzz
 
 import (
+	"io"
+
 	"chatfuzz/internal/baseline/randfuzz"
 	"chatfuzz/internal/baseline/thehuzz"
+	"chatfuzz/internal/campaign"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/cov"
 	"chatfuzz/internal/exp"
@@ -68,6 +100,18 @@ type (
 	Suite = exp.Suite
 	// Scale sizes an experiment run.
 	Scale = exp.Scale
+
+	// Orchestrator runs sharded multi-campaign fleets under bandit
+	// generator scheduling.
+	Orchestrator = campaign.Orchestrator
+	// CampaignConfig parameterises an orchestrated fleet.
+	CampaignConfig = campaign.Config
+	// ArmSpec names a schedulable generator arm.
+	ArmSpec = campaign.ArmSpec
+	// CampaignReport summarises a fleet run, including per-arm pulls.
+	CampaignReport = campaign.Report
+	// ArmReport is one arm's scheduling statistics.
+	ArmReport = campaign.ArmReport
 )
 
 // Finding identifiers (paper §V-B).
@@ -109,6 +153,37 @@ func NewTheHuzz(seed int64, bodyInstrs int) Generator { return thehuzz.New(seed,
 func NewRandomRegression(seed int64, bodyInstrs int) Generator {
 	return randfuzz.New(seed, bodyInstrs)
 }
+
+// NewOrchestrator builds a sharded fleet: one DUT per shard via
+// newDUT, one instance of every arm per shard, and a shared discounted
+// UCB1 bandit allocating rounds among the arms.
+func NewOrchestrator(cfg CampaignConfig, newDUT func() DUT, arms ...ArmSpec) (*Orchestrator, error) {
+	return campaign.New(cfg, newDUT, arms...)
+}
+
+// ResumeCampaign rebuilds a fleet from a checkpoint written by
+// Orchestrator.Checkpoint; the continued merged trajectory is
+// bit-identical to an uninterrupted run.
+func ResumeCampaign(r io.Reader, newDUT func() DUT, arms ...ArmSpec) (*Orchestrator, error) {
+	return campaign.Resume(r, newDUT, arms...)
+}
+
+// ResumeCampaignFile rebuilds a fleet from a checkpoint file.
+func ResumeCampaignFile(path string, newDUT func() DUT, arms ...ArmSpec) (*Orchestrator, error) {
+	return campaign.ResumeFile(path, newDUT, arms...)
+}
+
+// LLMArm schedules a trained pipeline's model as a generator arm.
+func LLMArm(p *Pipeline) ArmSpec { return campaign.LLMArm(p) }
+
+// TheHuzzArm schedules the TheHuzz mutation baseline as an arm.
+func TheHuzzArm(bodyInstrs int) ArmSpec { return campaign.TheHuzzArm(bodyInstrs) }
+
+// RandInstArm schedules the ISA-aware random generator as an arm.
+func RandInstArm(bodyInstrs int) ArmSpec { return campaign.RandInstArm(bodyInstrs) }
+
+// RandFuzzArm schedules the raw random-word generator as an arm.
+func RandFuzzArm(bodyInstrs int) ArmSpec { return campaign.RandFuzzArm(bodyInstrs) }
 
 // QuickScale returns the laptop-sized experiment scale.
 func QuickScale() Scale { return exp.Quick() }

@@ -2,6 +2,13 @@
 // paper's evaluation (DESIGN.md §5: experiments E1–E8 and ablations
 // A1–A3) at the chosen scale, printing paper-style rows next to the
 // paper's reported values.
+//
+// The campaign subcommand instead runs the sharded multi-campaign
+// orchestrator: N concurrent campaigns with a discounted UCB1 bandit
+// scheduling generator arms, with optional checkpoint/resume:
+//
+//	fuzz-bench campaign -shards 4 -tests 2000 -checkpoint fleet.json
+//	fuzz-bench campaign -resume -checkpoint fleet.json -tests 4000
 package main
 
 import (
@@ -11,10 +18,117 @@ import (
 	"os"
 	"strings"
 
+	"chatfuzz/internal/campaign"
+	"chatfuzz/internal/core"
 	"chatfuzz/internal/exp"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/boom"
+	"chatfuzz/internal/rtl/rocket"
 )
 
+// campaignMain runs the orchestrator subcommand with its own flag set.
+func campaignMain(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	var (
+		shards     = fs.Int("shards", 4, "concurrent campaigns")
+		tests      = fs.Int("tests", 2000, "total fleet test budget")
+		batch      = fs.Int("batch", 16, "tests per round per shard")
+		body       = fs.Int("body", 24, "instructions per test")
+		seed       = fs.Int64("seed", 1, "campaign seed")
+		dutName    = fs.String("dut", "rocket", "design under test: rocket or boom")
+		llm        = fs.Bool("llm", false, "train a quick pipeline and schedule the LLM arm")
+		checkpoint = fs.String("checkpoint", "", "checkpoint file to write after the run")
+		resume     = fs.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
+	)
+	fs.Parse(args)
+
+	var newDUT func() rtl.DUT
+	switch *dutName {
+	case "rocket":
+		newDUT = func() rtl.DUT { return rocket.New() }
+	case "boom":
+		newDUT = func() rtl.DUT { return boom.New() }
+	default:
+		log.Fatalf("unknown dut %q", *dutName)
+	}
+	// Fail fast on a bad checkpoint before any expensive work: with
+	// -llm the pipeline training below takes minutes, and discovering
+	// a missing file or mismatched arm set afterwards wastes all of it.
+	if *resume {
+		if *checkpoint == "" {
+			log.Fatal("-resume requires -checkpoint")
+		}
+		info, err := campaign.ReadCheckpointInfo(*checkpoint)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		wantArms := 3
+		if *llm {
+			wantArms = 4
+		}
+		if len(info.Arms) != wantArms {
+			log.Fatalf("resume: checkpoint has %d arms but these flags build %d (add or drop -llm to match the original run: %v)",
+				len(info.Arms), wantArms, info.Arms)
+		}
+	}
+
+	arms := []campaign.ArmSpec{
+		campaign.TheHuzzArm(*body),
+		campaign.RandInstArm(*body),
+		campaign.RandFuzzArm(*body),
+	}
+	if *llm {
+		fmt.Println("training quick pipeline for the LLM arm...")
+		cfg := core.DefaultPipelineConfig()
+		cfg.Log = os.Stdout
+		p := core.NewPipeline(cfg)
+		p.Run(newDUT())
+		arms = append([]campaign.ArmSpec{campaign.LLMArm(p)}, arms...)
+	}
+
+	var o *campaign.Orchestrator
+	var err error
+	if *resume {
+		// Resume rebuilds the fleet from the checkpoint's Config; the
+		// scheduling flags below would otherwise be silently ignored.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shards", "batch", "seed":
+				fmt.Printf("warning: -%s is ignored with -resume (the checkpoint's value is used)\n", f.Name)
+			}
+		})
+		o, err = campaign.ResumeFile(*checkpoint, newDUT, arms...)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		fmt.Printf("resumed at round %d, %d tests, %.2f%% coverage\n", o.Rounds(), o.Tests(), o.Coverage())
+	} else {
+		o, err = campaign.New(campaign.Config{
+			Shards:    *shards,
+			BatchSize: *batch,
+			Seed:      *seed,
+		}, newDUT, arms...)
+		if err != nil {
+			log.Fatalf("campaign: %v", err)
+		}
+	}
+
+	o.RunTests(*tests)
+	fmt.Print(o.Report())
+
+	if *checkpoint != "" {
+		if err := o.CheckpointFile(*checkpoint); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *checkpoint)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		campaignMain(os.Args[2:])
+		return
+	}
 	var (
 		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper")
 		which     = flag.String("exp", "all", "comma list: fig2,budget,speedup,boom,findings,training,a1,a2,a3 or all")

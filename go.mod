@@ -1,0 +1,3 @@
+module chatfuzz
+
+go 1.24

@@ -103,6 +103,51 @@ func (g *Gen) Feedback(scores []cov.Scores) {
 // PoolSize reports the current seed-pool occupancy.
 func (g *Gen) PoolSize() int { return len(g.pool) }
 
+// Reseed replaces the generator's random stream. The campaign
+// orchestrator reseeds arms deterministically before every scheduling
+// round, which is what makes checkpoint→resume replay exact: the seed
+// is a pure function of (campaign seed, shard, round), so no rng state
+// needs to survive a checkpoint.
+func (g *Gen) Reseed(seed int64) { g.rng = rand.New(rand.NewSource(seed)) }
+
+// PoolEntry is the serializable form of one seed-pool entry.
+type PoolEntry struct {
+	Body  []uint32
+	Score int
+	Age   int
+}
+
+// State is the generator's checkpointable state: everything except the
+// rng (see Reseed) and the transient last-batch buffer, which is only
+// meaningful between a GenerateBatch and its Feedback.
+type State struct {
+	Round int
+	Pool  []PoolEntry
+}
+
+// State snapshots the seed pool for checkpointing.
+func (g *Gen) State() State {
+	st := State{Round: g.round, Pool: make([]PoolEntry, len(g.pool))}
+	for i, e := range g.pool {
+		body := make([]uint32, len(e.body))
+		copy(body, e.body)
+		st.Pool[i] = PoolEntry{Body: body, Score: e.score, Age: e.age}
+	}
+	return st
+}
+
+// SetState restores a snapshot taken with State.
+func (g *Gen) SetState(st State) {
+	g.round = st.Round
+	g.pool = make([]poolEntry, len(st.Pool))
+	for i, e := range st.Pool {
+		body := make([]uint32, len(e.Body))
+		copy(body, e.Body)
+		g.pool[i] = poolEntry{body: body, score: e.Score, age: e.Age}
+	}
+	g.last = nil
+}
+
 // mutate derives a new body by applying MutationsPerInput random
 // mutation operators to a copy. The operator mix is validity-biased,
 // as in TheHuzz: most mutations stay at instruction granularity

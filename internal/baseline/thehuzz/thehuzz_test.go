@@ -70,3 +70,46 @@ func TestFeedbackLengthMismatchIgnored(t *testing.T) {
 		t.Error("mismatched feedback must be ignored")
 	}
 }
+
+func TestStateRoundTripPreservesPool(t *testing.T) {
+	g := New(1, 12)
+	progs := g.GenerateBatch(8)
+	scores := make([]cov.Scores, len(progs))
+	for i := range scores {
+		scores[i] = cov.Scores{Incremental: i} // entries 1..7 join the pool
+	}
+	g.Feedback(scores)
+	if g.PoolSize() == 0 {
+		t.Fatal("pool empty after positive feedback")
+	}
+
+	st := g.State()
+	g2 := New(99, 12)
+	g2.SetState(st)
+	if g2.PoolSize() != g.PoolSize() {
+		t.Fatalf("restored pool size %d, want %d", g2.PoolSize(), g.PoolSize())
+	}
+
+	// The snapshot must be a deep copy: mutating the restored pool's
+	// bodies through further fuzzing must not corrupt the original.
+	st.Pool[0].Body[0] = 0xDEADBEEF
+	if g.State().Pool[0].Body[0] == 0xDEADBEEF {
+		t.Error("State shares body storage with the live pool")
+	}
+
+	// Reseeded generators with identical state produce identical batches.
+	g.Reseed(7)
+	g2.Reseed(7)
+	a := g.GenerateBatch(6)
+	b := g2.GenerateBatch(6)
+	for i := range a {
+		if len(a[i].Body) != len(b[i].Body) {
+			t.Fatalf("batch %d length mismatch", i)
+		}
+		for j := range a[i].Body {
+			if a[i].Body[j] != b[i].Body[j] {
+				t.Fatalf("batch %d word %d differs after identical reseed", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"chatfuzz/internal/baseline/randfuzz"
+	"chatfuzz/internal/baseline/randinst"
+	"chatfuzz/internal/baseline/thehuzz"
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/prog"
+)
+
+// arm is one schedulable generator: a core.Generator the orchestrator
+// reseeds deterministically before every round. Because the seed is a
+// pure function of (campaign seed, shard, round), no rng state has to
+// survive a checkpoint for resumed runs to replay exactly.
+type arm interface {
+	core.Generator
+	Reseed(seed int64)
+}
+
+// statefulArm additionally carries checkpoint state beyond the rng
+// (e.g. TheHuzz's seed pool).
+type statefulArm interface {
+	arm
+	armState() (json.RawMessage, error)
+	armRestore(json.RawMessage) error
+}
+
+// ArmSpec names a generator arm and builds per-shard instances of it.
+// Every shard gets its own instance (generators are stateful and not
+// goroutine-safe); the bandit's statistics for the arm are global.
+type ArmSpec struct {
+	// Name identifies the arm in reports.
+	Name string
+
+	// sig fingerprints the arm's parameters (body length, model
+	// shape). Checkpoints record it, and Resume refuses specs whose
+	// signature differs — a resumed fleet with, say, a different body
+	// length would silently diverge from the uninterrupted run.
+	sig string
+
+	build func(binsTotal int) arm
+}
+
+// TheHuzzArm schedules the TheHuzz mutation baseline as an arm. Its
+// seed pool is per shard and survives checkpoints.
+func TheHuzzArm(bodyInstrs int) ArmSpec {
+	return ArmSpec{
+		Name:  "thehuzz",
+		sig:   fmt.Sprintf("thehuzz/body=%d", bodyInstrs),
+		build: func(int) arm { return &huzzArm{thehuzz.New(0, bodyInstrs)} },
+	}
+}
+
+// RandInstArm schedules the ISA-aware random-instruction generator
+// (the seed generator both baselines share) as a stateless arm.
+func RandInstArm(bodyInstrs int) ArmSpec {
+	return ArmSpec{
+		Name: "randinst",
+		sig:  fmt.Sprintf("randinst/body=%d", bodyInstrs),
+		build: func(int) arm {
+			return &randInstArm{body: bodyInstrs, rng: rand.New(rand.NewSource(0))}
+		},
+	}
+}
+
+// RandFuzzArm schedules the raw random-word generator (the ablation
+// floor: mostly-illegal words that stress the trap paths).
+func RandFuzzArm(bodyInstrs int) ArmSpec {
+	return ArmSpec{
+		Name: "randfuzz",
+		sig:  fmt.Sprintf("randfuzz/body=%d", bodyInstrs),
+		build: func(int) arm {
+			a := &randFuzzArm{body: bodyInstrs}
+			a.Reseed(0)
+			return a
+		},
+	}
+}
+
+// LLMArm schedules the trained ChatFuzz model as an arm. The pipeline's
+// model is shared read-only across every shard — generation allocates
+// its own sampler per call — so online PPO updates are disabled: with
+// them, concurrent shards would race on the weights and a resumed run
+// could not replay the updates.
+func LLMArm(p *core.Pipeline) ArmSpec {
+	m := p.Model.Cfg
+	return ArmSpec{
+		Name: "chatfuzz",
+		sig: fmt.Sprintf("chatfuzz/ctx=%d,dim=%d,heads=%d,layers=%d,vocab=%d,body=%d",
+			m.Ctx, m.Dim, m.Heads, m.Layers, m.Vocab, p.Cfg.BodyInstrs),
+		build: func(binsTotal int) arm {
+			a := &llmArm{p: p, bins: binsTotal}
+			a.Reseed(0)
+			return a
+		},
+	}
+}
+
+// recorded wraps a shard's arm to capture, per round, the programs
+// that achieved incremental coverage (fleet-new coverage when global
+// sync is on). The orchestrator drains them into the shared mutation
+// pool at the barrier — EnFuzz-style seed synchronization, so an LLM
+// or random discovery becomes mutation fodder for every shard's
+// TheHuzz arm. capture stays false when no arm consumes the pool
+// (no TheHuzz arm, or sync disabled) and for the TheHuzz arm itself,
+// which admits its own discoveries; otherwise found would grow
+// unboundedly with nothing ever draining it.
+type recorded struct {
+	arm
+	capture bool
+	last    []prog.Program
+	found   []thehuzz.PoolEntry
+}
+
+func (r *recorded) GenerateBatch(n int) []prog.Program {
+	r.last = r.arm.GenerateBatch(n)
+	return r.last
+}
+
+func (r *recorded) Feedback(scores []cov.Scores) {
+	if r.capture {
+		for i, sc := range scores {
+			if sc.Incremental > 0 && i < len(r.last) {
+				body := make([]uint32, len(r.last[i].Body))
+				copy(body, r.last[i].Body)
+				r.found = append(r.found, thehuzz.PoolEntry{Body: body, Score: sc.Incremental})
+			}
+		}
+	}
+	r.arm.Feedback(scores)
+}
+
+// drain returns and clears the round's coverage-advancing programs.
+func (r *recorded) drain() []thehuzz.PoolEntry {
+	out := r.found
+	r.found = nil
+	return out
+}
+
+// huzzArm adapts thehuzz.Gen, adding checkpoint marshalling.
+type huzzArm struct{ *thehuzz.Gen }
+
+func (a *huzzArm) armState() (json.RawMessage, error) {
+	return json.Marshal(a.Gen.State())
+}
+
+func (a *huzzArm) armRestore(raw json.RawMessage) error {
+	var st thehuzz.State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	a.Gen.SetState(st)
+	return nil
+}
+
+// randInstArm generates batches of valid random instructions with no
+// feedback loop.
+type randInstArm struct {
+	body int
+	rng  *rand.Rand
+}
+
+func (a *randInstArm) Name() string { return "randinst" }
+
+func (a *randInstArm) GenerateBatch(n int) []prog.Program {
+	out := make([]prog.Program, n)
+	for i := range out {
+		out[i] = prog.Program{Body: randinst.Program(a.rng, a.body)}
+	}
+	return out
+}
+
+func (a *randInstArm) Feedback([]cov.Scores) {}
+
+func (a *randInstArm) Reseed(seed int64) { a.rng = rand.New(rand.NewSource(seed)) }
+
+// randFuzzArm wraps randfuzz in raw mode; reseeding rebuilds the
+// stateless generator.
+type randFuzzArm struct {
+	body int
+	gen  *randfuzz.Gen
+}
+
+func (a *randFuzzArm) Name() string { return "randfuzz" }
+
+func (a *randFuzzArm) GenerateBatch(n int) []prog.Program { return a.gen.GenerateBatch(n) }
+
+func (a *randFuzzArm) Feedback(s []cov.Scores) { a.gen.Feedback(s) }
+
+func (a *randFuzzArm) Reseed(seed int64) {
+	g := randfuzz.New(seed, a.body)
+	g.Raw = true
+	a.gen = g
+}
+
+// llmArm samples from the shared trained model; reseeding rebuilds the
+// lightweight generator wrapper around the (static) weights.
+type llmArm struct {
+	p    *core.Pipeline
+	bins int
+	gen  *core.LLMGenerator
+}
+
+func (a *llmArm) Name() string { return "chatfuzz" }
+
+func (a *llmArm) GenerateBatch(n int) []prog.Program { return a.gen.GenerateBatch(n) }
+
+func (a *llmArm) Feedback(s []cov.Scores) { a.gen.Feedback(s) }
+
+func (a *llmArm) Reseed(seed int64) {
+	a.gen = core.NewLLMGenerator(a.p, a.bins, false, seed)
+}

@@ -1,0 +1,92 @@
+package campaign
+
+import "math"
+
+// UCB1 is the orchestrator's arm scheduler (Auer et al., 2002, as
+// applied to fuzzing-strategy selection by MABFuzz): each generator is
+// one arm, pulls are fuzzing rounds, and the reward is normalized
+// incremental coverage per virtual hour. UCB1 plays the arm maximising
+// mean reward plus an exploration bonus that shrinks as an arm
+// accumulates pulls, so cold generators keep getting probed while hot
+// ones dominate the schedule.
+//
+// The scheduler is fully deterministic: ties break toward the lowest
+// arm index, and the orchestrator only calls it from the single-threaded
+// barrier phase of each round.
+type UCB1 struct {
+	// C scales the exploration bonus (the classic value is √2).
+	C float64
+	// Pulls counts raw selections per arm; exposed in the campaign
+	// report. Scheduling itself uses the discounted masses below.
+	Pulls []int
+	// W is the discounted pull mass per arm.
+	W []float64
+	// Sums is the discounted reward mass per arm.
+	Sums []float64
+	// T is the discounted total pull mass.
+	T float64
+}
+
+// NewUCB1 returns a bandit over n arms.
+func NewUCB1(n int, c float64) *UCB1 {
+	if c <= 0 {
+		c = math.Sqrt2
+	}
+	return &UCB1{C: c, Pulls: make([]int, n), W: make([]float64, n), Sums: make([]float64, n)}
+}
+
+// minMass is the discounted pull mass below which an arm counts as
+// untried again (its statistics have decayed to irrelevance).
+const minMass = 1e-6
+
+// Select picks the next arm and counts the pull immediately, so that
+// several shards scheduled within one round spread across arms instead
+// of piling onto the current leader before any reward lands.
+func (b *UCB1) Select() int {
+	best, bestV := 0, math.Inf(-1)
+	for i := range b.Pulls {
+		var v float64
+		if b.W[i] < minMass {
+			// Every arm is tried before any is repeated.
+			v = math.Inf(1)
+		} else {
+			mean := b.Sums[i] / b.W[i]
+			v = mean + b.C*math.Sqrt(math.Log(b.T+1)/b.W[i])
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	b.Pulls[best]++
+	b.W[best]++
+	b.T++
+	return best
+}
+
+// Reward credits an earlier Select of arm i. Rewards are expected in
+// [0, 1]; the orchestrator squashes coverage rates into that range.
+func (b *UCB1) Reward(i int, r float64) { b.Sums[i] += r }
+
+// Discount multiplies all masses by g in (0, 1] — discounted UCB1
+// (Garivier & Moulines, 2008). Fuzzing rewards are non-stationary
+// (random breadth pays early, mutation depth pays late); discounting
+// lets the schedule track the current best arm instead of the
+// historical average.
+func (b *UCB1) Discount(g float64) {
+	if g >= 1 {
+		return
+	}
+	for i := range b.W {
+		b.W[i] *= g
+		b.Sums[i] *= g
+	}
+	b.T *= g
+}
+
+// Mean returns the (discounted) empirical mean reward of arm i.
+func (b *UCB1) Mean(i int) float64 {
+	if b.W[i] < minMass {
+		return 0
+	}
+	return b.Sums[i] / b.W[i]
+}

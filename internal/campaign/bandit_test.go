@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUCB1TriesEveryArmFirst(t *testing.T) {
+	b := NewUCB1(4, math.Sqrt2)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		arm := b.Select()
+		if seen[arm] {
+			t.Fatalf("arm %d selected twice before all arms were tried", arm)
+		}
+		seen[arm] = true
+		b.Reward(arm, 0.5)
+	}
+	if b.T != 4 {
+		t.Errorf("T = %v, want 4", b.T)
+	}
+}
+
+func TestUCB1ConcentratesOnBestArm(t *testing.T) {
+	b := NewUCB1(3, math.Sqrt2)
+	rewards := []float64{0.1, 0.9, 0.2}
+	for i := 0; i < 300; i++ {
+		arm := b.Select()
+		b.Reward(arm, rewards[arm])
+	}
+	if b.Pulls[1] <= b.Pulls[0] || b.Pulls[1] <= b.Pulls[2] {
+		t.Errorf("best arm pulled %d times vs %d/%d: UCB1 failed to concentrate",
+			b.Pulls[1], b.Pulls[0], b.Pulls[2])
+	}
+	// Exploration never fully starves an arm.
+	for i, n := range b.Pulls {
+		if n == 0 {
+			t.Errorf("arm %d starved", i)
+		}
+	}
+}
+
+func TestUCB1SpreadsWithinARound(t *testing.T) {
+	// Selections before any reward lands (the within-round case) must
+	// spread over arms, not pile onto one: pulls count at Select time.
+	b := NewUCB1(2, math.Sqrt2)
+	first, second := b.Select(), b.Select()
+	if first == second {
+		t.Errorf("two rewardless selections both chose arm %d", first)
+	}
+}
+
+func TestUCB1DiscountTracksNonStationaryRewards(t *testing.T) {
+	// Arm 0 pays early then dies; arm 1 starts paying later. With
+	// discounting the schedule must migrate to arm 1.
+	b := NewUCB1(2, math.Sqrt2)
+	for round := 0; round < 200; round++ {
+		b.Discount(0.9)
+		arm := b.Select()
+		var r float64
+		if round < 50 {
+			if arm == 0 {
+				r = 0.9
+			}
+		} else if arm == 1 {
+			r = 0.9
+		}
+		b.Reward(arm, r)
+	}
+	if b.Mean(1) <= b.Mean(0) {
+		t.Errorf("discounted mean did not track the regime switch: arm0 %.3f, arm1 %.3f",
+			b.Mean(0), b.Mean(1))
+	}
+	before := b.T
+	b.Discount(1)
+	if b.T != before {
+		t.Error("Discount(1) must be a no-op")
+	}
+}
+
+func TestUCB1Mean(t *testing.T) {
+	b := NewUCB1(2, 1)
+	if b.Mean(0) != 0 {
+		t.Errorf("mean of unpulled arm = %v, want 0", b.Mean(0))
+	}
+	arm := b.Select()
+	b.Reward(arm, 0.8)
+	if got := b.Mean(arm); got != 0.8 {
+		t.Errorf("mean = %v, want 0.8", got)
+	}
+}

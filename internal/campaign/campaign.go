@@ -1,0 +1,419 @@
+// Package campaign implements a sharded multi-campaign fuzzing
+// orchestrator on top of the paper's single fuzzing loop (Fig. 1a).
+//
+// N shards each run an independent core.Fuzzer — own DUT instance, own
+// virtual clock, own generator instances — and a global UCB1 bandit
+// allocates each round's batches among the generator arms (the trained
+// LLM, TheHuzz, ISA-aware random, raw random), rewarded by the
+// incremental merged coverage each batch buys per virtual hour, the
+// multi-armed-bandit strategy scheduling MABFuzz showed beats any
+// fixed strategy.
+//
+// A round is: select one arm per shard (sequentially, in shard order) →
+// all shards fuzz concurrently → barrier → merge each shard's coverage
+// bitmap into the fleet-global set, credit the bandit, and append one
+// merged ProgressPoint. Every scheduling and accounting decision
+// happens at the barrier in shard order, and every generator is
+// reseeded per round from a pure function of (campaign seed, shard,
+// round) — so the merged trajectory is bit-identical across runs and
+// across checkpoint/resume, regardless of goroutine interleaving.
+//
+// Fleet virtual time is the maximum over shard clocks: shards model
+// independent simulator rigs running in parallel, so Fig. 2-style
+// curves from Trajectory() reflect fleet wall-clock, not the sum of
+// per-rig time.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"chatfuzz/internal/baseline/thehuzz"
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/rtl"
+)
+
+// Config parameterises an orchestrated fleet.
+type Config struct {
+	// Shards is the number of concurrent campaigns (default 4).
+	Shards int
+	// BatchSize is tests per fuzzing round per shard (default 16).
+	BatchSize int
+	// RoundBatches is how many batches a shard runs between
+	// aggregation barriers (default 1). Larger values amortise the
+	// barrier at the cost of coarser bandit feedback.
+	RoundBatches int
+	// Seed derives every per-round generator seed.
+	Seed int64
+	// ExploreC is the UCB1 exploration constant (default √2).
+	ExploreC float64
+	// RewardHalf is the coverage rate, in new bins per virtual hour,
+	// at which the bandit reward reaches 0.5 (default 60). It only
+	// sets the scale on which arms are compared.
+	RewardHalf float64
+	// BanditDecay is the per-round discount applied to the bandit's
+	// statistics (default 0.9; 1 disables discounting). Fuzzing
+	// rewards are non-stationary, so recent rounds should outweigh
+	// the campaign's history.
+	BanditDecay float64
+	// NoSync disables pushing the merged global bitmap back into each
+	// shard at the barrier. With sync on (the default), a shard's
+	// incremental-coverage scores — and therefore TheHuzz pool
+	// admission and LLM rewards — measure fleet-new coverage, so
+	// shards complement instead of re-discovering each other's bins
+	// (the distributed-fuzzing corpus-sync idea, on bitmaps).
+	NoSync bool
+	// Detect enables differential testing in every shard. Detector
+	// state is not checkpointed: findings restart on resume.
+	Detect bool
+	// Parallel bounds simulation workers inside each shard (default
+	// 1: the shards themselves are the parallelism).
+	Parallel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.RoundBatches <= 0 {
+		c.RoundBatches = 1
+	}
+	if c.RewardHalf <= 0 {
+		c.RewardHalf = 60
+	}
+	if c.BanditDecay <= 0 {
+		c.BanditDecay = 0.9
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	return c
+}
+
+// shard is one independent campaign.
+type shard struct {
+	fuz  *core.Fuzzer
+	arms []arm
+	// rec[i] wraps arms[i] to capture coverage-advancing programs for
+	// cross-shard pool seeding; it is what the fuzzer actually drives.
+	rec []*recorded
+}
+
+// Orchestrator runs N sharded campaigns under bandit scheduling.
+type Orchestrator struct {
+	Cfg Config
+
+	specs  []ArmSpec
+	bandit *UCB1
+	shards []*shard
+	global *cov.Set
+	merged []core.ProgressPoint
+	round  int
+	tests  int
+}
+
+// New builds a fleet: one DUT per shard via newDUT, one instance of
+// every arm per shard, and a shared bandit over the arms.
+func New(cfg Config, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
+	cfg = cfg.withDefaults()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("campaign: at least one generator arm is required")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("campaign: duplicate arm %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+	o := &Orchestrator{
+		Cfg:    cfg,
+		specs:  specs,
+		bandit: NewUCB1(len(specs), cfg.ExploreC),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		dut := newDUT()
+		arms := make([]arm, len(specs))
+		rec := make([]*recorded, len(specs))
+		for i, sp := range specs {
+			arms[i] = sp.build(dut.Space().NumBins())
+			rec[i] = &recorded{arm: arms[i]}
+		}
+		if !cfg.NoSync {
+			hasHuzz := false
+			for _, a := range arms {
+				if _, ok := a.(*huzzArm); ok {
+					hasHuzz = true
+					break
+				}
+			}
+			for i, a := range arms {
+				if _, ok := a.(*huzzArm); !ok {
+					rec[i].capture = hasHuzz
+				}
+			}
+		}
+		fuz := core.NewFuzzer(rec[0], dut, core.Options{
+			BatchSize: cfg.BatchSize,
+			Detect:    cfg.Detect,
+			Parallel:  cfg.Parallel,
+		})
+		if s == 0 {
+			o.global = dut.Space().NewSet()
+		}
+		o.shards = append(o.shards, &shard{fuz: fuz, arms: arms, rec: rec})
+	}
+	return o, nil
+}
+
+// armSeed derives the per-(shard, round) generator seed as a pure
+// function of the campaign seed (splitmix64 finalizer), so a resumed
+// run replays the exact stream without checkpointing rng state.
+func armSeed(campaign int64, shard, round int) int64 {
+	z := uint64(campaign) + 0x9E3779B97F4A7C15*uint64(shard+1) + 0xBF58476D1CE4E5B9*uint64(round+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunRound executes one scheduling round: arm selection per shard,
+// concurrent fuzzing, then deterministic barrier accounting.
+func (o *Orchestrator) RunRound() {
+	n := len(o.shards)
+	o.bandit.Discount(o.Cfg.BanditDecay)
+	picks := make([]int, n)
+	for i := range picks {
+		picks[i] = o.bandit.Select()
+	}
+
+	type delta struct {
+		tests int
+		hours float64
+	}
+	deltas := make([]delta, n)
+	var wg sync.WaitGroup
+	for i, s := range o.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.arms[picks[i]].Reseed(armSeed(o.Cfg.Seed, i, o.round))
+			s.fuz.Gen = s.rec[picks[i]]
+			t0, h0 := s.fuz.Tests, s.fuz.Clk.Hours()
+			for b := 0; b < o.Cfg.RoundBatches; b++ {
+				s.fuz.RunBatch()
+			}
+			deltas[i] = delta{tests: s.fuz.Tests - t0, hours: s.fuz.Clk.Hours() - h0}
+		}(i, s)
+	}
+	wg.Wait()
+
+	// Barrier: merge bitmaps and credit the bandit in shard order.
+	for i, s := range o.shards {
+		added, err := o.global.MergeWords(s.fuz.Calc.Total().Snapshot())
+		if err != nil {
+			panic("campaign: shard coverage space diverged: " + err.Error())
+		}
+		rate := 0.0
+		if deltas[i].hours > 0 {
+			rate = float64(added) / deltas[i].hours
+		}
+		// Squash bins-per-hour into [0, 1): RewardHalf bins/hour ↦ 0.5.
+		o.bandit.Reward(picks[i], rate/(rate+o.Cfg.RewardHalf))
+		o.tests += deltas[i].tests
+	}
+	if !o.Cfg.NoSync {
+		snap := o.global.Snapshot()
+		for _, s := range o.shards {
+			if _, err := s.fuz.Calc.Total().MergeWords(snap); err != nil {
+				panic("campaign: global sync: " + err.Error())
+			}
+		}
+		o.syncPools()
+	}
+	o.round++
+	o.merged = append(o.merged, core.ProgressPoint{
+		Tests:    o.tests,
+		Hours:    o.Hours(),
+		Coverage: o.global.Percent(),
+	})
+}
+
+// syncPools builds the fleet-wide mutation pool and hands it back to
+// every shard's TheHuzz arm — the distributed-fuzzing corpus sync,
+// plus EnFuzz-style cross-generator seeding: the pool merges (a) every
+// shard's existing TheHuzz pool and (b) every program any arm produced
+// this round that bought fleet-new coverage (drained from the
+// recorders). A lone shard only deepens its pool on the rounds the
+// bandit assigns it TheHuzz; after syncing, every shard mutates from a
+// pool fed by the full fleet throughput and by every generator's
+// discoveries. Deterministic: shards are visited in order and the
+// merge reuses TheHuzz's own (score, age) ordering.
+func (o *Orchestrator) syncPools() {
+	var gens []*huzzArm
+	var all []thehuzz.PoolEntry
+	// Post-sync pools are identical across shards, so collecting them
+	// all would add Shards-1 duplicate copies of every entry and — once
+	// truncated to PoolCap — collapse pool diversity by the shard
+	// count. Dedupe by body while gathering.
+	seen := make(map[string]bool)
+	add := func(e thehuzz.PoolEntry) {
+		k := bodyKey(e.Body)
+		if !seen[k] {
+			seen[k] = true
+			all = append(all, e)
+		}
+	}
+	for _, s := range o.shards {
+		for _, a := range s.arms {
+			if ha, ok := a.(*huzzArm); ok {
+				gens = append(gens, ha)
+				for _, e := range ha.Gen.State().Pool {
+					add(e)
+				}
+			}
+		}
+	}
+	if len(gens) == 0 {
+		return
+	}
+	for _, s := range o.shards {
+		for _, r := range s.rec {
+			for _, e := range r.drain() {
+				e.Age = o.round + 1
+				add(e)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		return all[a].Age > all[b].Age
+	})
+	if cap := gens[0].Gen.PoolCap; len(all) > cap {
+		all = all[:cap]
+	}
+	for _, g := range gens {
+		g.Gen.SetState(thehuzz.State{Round: o.round + 1, Pool: all})
+	}
+}
+
+// bodyKey renders a program body as a map key for pool deduplication.
+func bodyKey(body []uint32) string {
+	buf := make([]byte, 4*len(body))
+	for i, w := range body {
+		buf[4*i] = byte(w)
+		buf[4*i+1] = byte(w >> 8)
+		buf[4*i+2] = byte(w >> 16)
+		buf[4*i+3] = byte(w >> 24)
+	}
+	return string(buf)
+}
+
+// RunRounds executes n scheduling rounds.
+func (o *Orchestrator) RunRounds(n int) {
+	for i := 0; i < n; i++ {
+		o.RunRound()
+	}
+}
+
+// RunTests runs rounds until the fleet has executed at least n tests.
+func (o *Orchestrator) RunTests(n int) {
+	for o.tests < n {
+		o.RunRound()
+	}
+}
+
+// Coverage returns the fleet's merged condition-coverage percentage.
+func (o *Orchestrator) Coverage() float64 { return o.global.Percent() }
+
+// Tests returns the total tests executed across all shards.
+func (o *Orchestrator) Tests() int { return o.tests }
+
+// Rounds returns the number of completed scheduling rounds.
+func (o *Orchestrator) Rounds() int { return o.round }
+
+// Hours returns fleet virtual time: the maximum over shard clocks.
+func (o *Orchestrator) Hours() float64 {
+	h := 0.0
+	for _, s := range o.shards {
+		if sh := s.fuz.Clk.Hours(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// Trajectory returns the merged coverage trajectory, one point per
+// round (the fleet-level series behind Fig. 2-style curves).
+func (o *Orchestrator) Trajectory() []core.ProgressPoint {
+	out := make([]core.ProgressPoint, len(o.merged))
+	copy(out, o.merged)
+	return out
+}
+
+// Shard returns shard i's fuzzer, for inspection (mismatch reports,
+// per-shard coverage). Mutating it mid-campaign voids determinism.
+func (o *Orchestrator) Shard(i int) *core.Fuzzer { return o.shards[i].fuz }
+
+// ArmReport is one arm's scheduling statistics.
+type ArmReport struct {
+	Name string
+	// Pulls is how many shard-rounds the bandit allocated to the arm.
+	Pulls int
+	// MeanReward is the arm's empirical mean normalized reward.
+	MeanReward float64
+}
+
+// Report summarises the fleet run.
+type Report struct {
+	Shards   int
+	Rounds   int
+	Tests    int
+	Hours    float64
+	Coverage float64
+	Arms     []ArmReport
+}
+
+// Report returns the fleet summary, including per-arm pull counts.
+func (o *Orchestrator) Report() Report {
+	r := Report{
+		Shards:   len(o.shards),
+		Rounds:   o.round,
+		Tests:    o.tests,
+		Hours:    o.Hours(),
+		Coverage: o.global.Percent(),
+	}
+	for i, sp := range o.specs {
+		r.Arms = append(r.Arms, ArmReport{
+			Name:       sp.Name,
+			Pulls:      o.bandit.Pulls[i],
+			MeanReward: o.bandit.Mean(i),
+		})
+	}
+	return r
+}
+
+// String renders the report as a small table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d shards, %d rounds, %d tests, %.2f virtual h, merged coverage %.2f%%\n",
+		r.Shards, r.Rounds, r.Tests, r.Hours, r.Coverage)
+	fmt.Fprintf(&b, "%-10s %6s %12s\n", "arm", "pulls", "mean reward")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%-10s %6d %12.3f\n", a.Name, a.Pulls, a.MeanReward)
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/rtl"
+)
+
+// checkpointVersion guards the JSON layout.
+const checkpointVersion = 1
+
+// checkpointFile is the serialized form of a paused fleet. Arms holds
+// the arm signatures (name + parameters), which Resume validates so a
+// mis-parameterised resume fails loudly instead of silently diverging.
+// Generator rng state is deliberately absent: per-round seeds are a
+// pure function of (Config.Seed, shard, round), so Round is enough to
+// replay the remaining stream exactly.
+type checkpointFile struct {
+	Version int
+	Config  Config
+	Round   int
+	Tests   int
+	// Bins fingerprints the DUT's coverage space: the bitmap word
+	// count alone cannot distinguish spaces whose bin counts round to
+	// the same number of 64-bit words.
+	Bins   int
+	Arms   []string
+	Bandit banditState
+	Global []uint64
+	Merged []core.ProgressPoint
+	Shards []shardState
+}
+
+type banditState struct {
+	Pulls []int
+	W     []float64
+	Sums  []float64
+	T     float64
+}
+
+type shardState struct {
+	Tests   int
+	Seconds float64
+	Cov     []uint64
+	// Arms holds per-arm checkpoint state, indexed like the specs;
+	// nil for stateless arms.
+	Arms []json.RawMessage
+}
+
+// Checkpoint serializes the fleet between rounds. The caller provides
+// the writer; JSON is used so checkpoints stay diffable and float64
+// fields round-trip exactly (Go marshals the shortest representation
+// that parses back to the same value).
+func (o *Orchestrator) Checkpoint(w io.Writer) error {
+	cf := checkpointFile{
+		Version: checkpointVersion,
+		Config:  o.Cfg,
+		Round:   o.round,
+		Tests:   o.tests,
+		Bins:    o.global.Space().NumBins(),
+		Bandit:  banditState{Pulls: o.bandit.Pulls, W: o.bandit.W, Sums: o.bandit.Sums, T: o.bandit.T},
+		Global:  o.global.Snapshot(),
+		Merged:  o.merged,
+	}
+	for _, sp := range o.specs {
+		cf.Arms = append(cf.Arms, sp.sig)
+	}
+	for _, s := range o.shards {
+		st := shardState{
+			Tests:   s.fuz.Tests,
+			Seconds: s.fuz.Clk.Seconds(),
+			Cov:     s.fuz.Calc.Total().Snapshot(),
+			Arms:    make([]json.RawMessage, len(s.arms)),
+		}
+		for i, a := range s.arms {
+			if sa, ok := a.(statefulArm); ok {
+				raw, err := sa.armState()
+				if err != nil {
+					return fmt.Errorf("campaign: checkpoint arm %q: %w", o.specs[i].Name, err)
+				}
+				st.Arms[i] = raw
+			}
+		}
+		cf.Shards = append(cf.Shards, st)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&cf)
+}
+
+// CheckpointFile writes a checkpoint to path.
+func (o *Orchestrator) CheckpointFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return o.Checkpoint(f)
+}
+
+// Resume rebuilds a fleet from a checkpoint. The caller supplies the
+// same DUT constructor and arm specs as the original run (functions
+// cannot be serialized); Resume validates the arm names against the
+// checkpoint and restores bandit state, per-shard coverage, clocks and
+// arm state, so the continued run's merged trajectory is bit-identical
+// to an uninterrupted one.
+func Resume(r io.Reader, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
+	var cf checkpointFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("campaign: decode checkpoint: %w", err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint version %d, want %d", cf.Version, checkpointVersion)
+	}
+	if len(cf.Arms) != len(specs) {
+		return nil, fmt.Errorf("campaign: checkpoint has %d arms, got %d specs", len(cf.Arms), len(specs))
+	}
+	for i, sig := range cf.Arms {
+		if specs[i].sig != sig {
+			return nil, fmt.Errorf("campaign: arm %d is %q in checkpoint, %q in specs", i, sig, specs[i].sig)
+		}
+	}
+	o, err := New(cf.Config, newDUT, specs...)
+	if err != nil {
+		return nil, err
+	}
+	if bins := o.global.Space().NumBins(); bins != cf.Bins {
+		return nil, fmt.Errorf("campaign: checkpoint was taken against a DUT with %d coverage bins, this DUT has %d — resume with the original DUT constructor", cf.Bins, bins)
+	}
+	if len(cf.Shards) != len(o.shards) {
+		return nil, fmt.Errorf("campaign: checkpoint has %d shards, config builds %d", len(cf.Shards), len(o.shards))
+	}
+	if len(cf.Bandit.Pulls) != len(specs) || len(cf.Bandit.W) != len(specs) || len(cf.Bandit.Sums) != len(specs) {
+		return nil, fmt.Errorf("campaign: bandit state sized for %d/%d/%d arms, want %d",
+			len(cf.Bandit.Pulls), len(cf.Bandit.W), len(cf.Bandit.Sums), len(specs))
+	}
+	o.round = cf.Round
+	o.tests = cf.Tests
+	o.merged = cf.Merged
+	o.bandit.Pulls = cf.Bandit.Pulls
+	o.bandit.W = cf.Bandit.W
+	o.bandit.Sums = cf.Bandit.Sums
+	o.bandit.T = cf.Bandit.T
+	if err := o.global.LoadSnapshot(cf.Global); err != nil {
+		return nil, fmt.Errorf("campaign: global coverage: %w", err)
+	}
+	for si, st := range cf.Shards {
+		s := o.shards[si]
+		s.fuz.Tests = st.Tests
+		s.fuz.Clk.SetSeconds(st.Seconds)
+		if err := s.fuz.Calc.RestoreTotal(st.Cov); err != nil {
+			return nil, fmt.Errorf("campaign: shard %d coverage: %w", si, err)
+		}
+		if len(st.Arms) != len(s.arms) {
+			return nil, fmt.Errorf("campaign: shard %d has %d arm states, want %d", si, len(st.Arms), len(s.arms))
+		}
+		for ai, raw := range st.Arms {
+			// Stateless arms checkpoint as JSON null.
+			if len(raw) == 0 || string(raw) == "null" {
+				continue
+			}
+			sa, ok := s.arms[ai].(statefulArm)
+			if !ok {
+				return nil, fmt.Errorf("campaign: arm %q carries state but is stateless", specs[ai].Name)
+			}
+			if err := sa.armRestore(raw); err != nil {
+				return nil, fmt.Errorf("campaign: restore arm %q: %w", specs[ai].Name, err)
+			}
+		}
+	}
+	return o, nil
+}
+
+// CheckpointInfo summarises a checkpoint's envelope.
+type CheckpointInfo struct {
+	Config Config
+	Round  int
+	Tests  int
+	Bins   int
+	// Arms holds the arm signatures (name + parameters).
+	Arms []string
+}
+
+// ReadCheckpointInfo decodes a checkpoint's envelope without
+// rebuilding the fleet, so callers can fail fast on a bad file before
+// doing expensive work (such as training an LLM arm's pipeline).
+func ReadCheckpointInfo(path string) (CheckpointInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	defer f.Close()
+	var cf checkpointFile
+	if err := json.NewDecoder(f).Decode(&cf); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("campaign: decode checkpoint: %w", err)
+	}
+	if cf.Version != checkpointVersion {
+		return CheckpointInfo{}, fmt.Errorf("campaign: checkpoint version %d, want %d", cf.Version, checkpointVersion)
+	}
+	return CheckpointInfo{Config: cf.Config, Round: cf.Round, Tests: cf.Tests, Bins: cf.Bins, Arms: cf.Arms}, nil
+}
+
+// ResumeFile reads a checkpoint from path.
+func ResumeFile(path string, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Resume(f, newDUT, specs...)
+}

@@ -1,0 +1,99 @@
+package core
+
+import "testing"
+
+// trajFuzzer builds a Fuzzer with a synthetic coverage trajectory; the
+// trajectory helpers only read Progress.
+func trajFuzzer(pts []ProgressPoint) *Fuzzer {
+	return &Fuzzer{Progress: pts}
+}
+
+var trajectory = []ProgressPoint{
+	{Tests: 16, Hours: 0.5, Coverage: 10},
+	{Tests: 32, Hours: 1.0, Coverage: 25},
+	{Tests: 48, Hours: 2.0, Coverage: 25}, // plateau round
+	{Tests: 64, Hours: 4.0, Coverage: 60},
+}
+
+func TestCoverageAt(t *testing.T) {
+	f := trajFuzzer(trajectory)
+	cases := []struct {
+		name  string
+		hours float64
+		want  float64
+	}{
+		{"before first sample", 0, 0},
+		{"just before first sample", 0.49, 0},
+		{"exactly on first sample", 0.5, 10},
+		{"between samples holds previous", 0.75, 10},
+		{"exactly on later sample", 1.0, 25},
+		{"inside plateau", 1.5, 25},
+		{"exactly on last sample", 4.0, 60},
+		{"beyond last sample holds final", 100, 60},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := f.CoverageAt(c.hours); got != c.want {
+				t.Errorf("CoverageAt(%v) = %v, want %v", c.hours, got, c.want)
+			}
+		})
+	}
+
+	if got := trajFuzzer(nil).CoverageAt(1); got != 0 {
+		t.Errorf("CoverageAt on empty trajectory = %v, want 0", got)
+	}
+}
+
+func TestTimeToCoverage(t *testing.T) {
+	f := trajFuzzer(trajectory)
+	cases := []struct {
+		name string
+		pct  float64
+		want float64
+	}{
+		{"below first sample crosses immediately", 5, 0.5},
+		{"exactly first sample", 10, 0.5},
+		{"between samples takes next", 11, 1.0},
+		{"plateau value reached at its first round", 25, 1.0},
+		{"final value", 60, 4.0},
+		{"never reached", 60.01, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := f.TimeToCoverage(c.pct); got != c.want {
+				t.Errorf("TimeToCoverage(%v) = %v, want %v", c.pct, got, c.want)
+			}
+		})
+	}
+
+	if got := trajFuzzer(nil).TimeToCoverage(1); got != -1 {
+		t.Errorf("TimeToCoverage on empty trajectory = %v, want -1", got)
+	}
+}
+
+func TestTestsToCoverage(t *testing.T) {
+	f := trajFuzzer(trajectory)
+	cases := []struct {
+		name string
+		pct  float64
+		want int
+	}{
+		{"below first sample", 1, 16},
+		{"exactly first sample", 10, 16},
+		{"between samples takes next", 10.5, 32},
+		{"plateau value reached at its first round", 25, 32},
+		{"final value", 60, 64},
+		{"never reached", 99, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := f.TestsToCoverage(c.pct); got != c.want {
+				t.Errorf("TestsToCoverage(%v) = %v, want %v", c.pct, got, c.want)
+			}
+		})
+	}
+
+	if got := trajFuzzer(nil).TestsToCoverage(1); got != -1 {
+		t.Errorf("TestsToCoverage on empty trajectory = %v, want -1", got)
+	}
+}

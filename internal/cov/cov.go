@@ -130,6 +130,44 @@ func (c *Set) Merge(other *Set) int {
 	return added
 }
 
+// Snapshot returns a copy of the raw hit-bitmap words. Snapshots are
+// the checkpoint/aggregation currency of the campaign orchestrator:
+// they carry no Space pointer, so they can cross shard boundaries
+// (every shard builds its own DUT and therefore its own Space) and
+// serialize to JSON directly.
+func (c *Set) Snapshot() []uint64 {
+	out := make([]uint64, len(c.bits))
+	copy(out, c.bits)
+	return out
+}
+
+// LoadSnapshot replaces the set's bits with a snapshot taken from a
+// structurally identical space (same DUT constructor).
+func (c *Set) LoadSnapshot(words []uint64) error {
+	if len(words) != len(c.bits) {
+		return fmt.Errorf("cov: snapshot has %d words, space needs %d", len(words), len(c.bits))
+	}
+	copy(c.bits, words)
+	return nil
+}
+
+// MergeWords ORs a raw snapshot into c and returns the number of bins
+// that were new to c. Unlike Merge it does not require Space identity,
+// only structural equality — the lock-cheap path for aggregating
+// per-shard coverage into a fleet-global set.
+func (c *Set) MergeWords(words []uint64) (int, error) {
+	if len(words) != len(c.bits) {
+		return 0, fmt.Errorf("cov: snapshot has %d words, space needs %d", len(words), len(c.bits))
+	}
+	added := 0
+	for i, w := range words {
+		newBits := w &^ c.bits[i]
+		added += bits.OnesCount64(newBits)
+		c.bits[i] |= w
+	}
+	return added, nil
+}
+
 // DiffCount returns the number of bins hit in c but not in other.
 func (c *Set) DiffCount(other *Set) int {
 	n := 0
@@ -225,6 +263,17 @@ func (c *Calculator) Score(run *Set) Scores {
 		TotalBins:    c.total.Count(),
 		TotalPercent: c.total.Percent(),
 	}
+}
+
+// RestoreTotal loads a checkpointed cumulative bitmap, replacing the
+// calculator's total. The batch snapshot is reset to the restored
+// total, so the next Score sees no spurious incremental coverage.
+func (c *Calculator) RestoreTotal(words []uint64) error {
+	if err := c.total.LoadSnapshot(words); err != nil {
+		return err
+	}
+	c.snapshot = c.total.Clone()
+	return nil
 }
 
 // Report renders a short human-readable coverage summary.

@@ -203,3 +203,85 @@ func TestCalculatorReport(t *testing.T) {
 		t.Errorf("report = %q", rep)
 	}
 }
+
+func TestSnapshotLoadRoundTrip(t *testing.T) {
+	s, ids := newTestSpace(70) // 140 bins: crosses one word boundary
+	a := s.NewSet()
+	for i, id := range ids {
+		a.Cond(id, i%3 == 0)
+	}
+	snap := a.Snapshot()
+
+	// Snapshot is a copy, not an alias.
+	a.Cond(ids[1], true)
+	b := s.NewSet()
+	if err := b.LoadSnapshot(snap); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if b.Covered(ids[1], true) {
+		t.Error("snapshot aliased the live bitmap")
+	}
+	for i, id := range ids {
+		if b.Covered(id, i%3 == 0) != true {
+			t.Errorf("point %d lost in round trip", i)
+		}
+	}
+
+	if err := b.LoadSnapshot([]uint64{1}); err == nil {
+		t.Error("LoadSnapshot accepted wrong-length snapshot")
+	}
+}
+
+func TestMergeWordsMatchesMerge(t *testing.T) {
+	// Two structurally identical but distinct spaces, as two DUT
+	// instances produce: Merge panics across them, MergeWords works.
+	s1, ids1 := newTestSpace(40)
+	s2, ids2 := newTestSpace(40)
+	a := s1.NewSet()
+	b := s2.NewSet()
+	a.Cond(ids1[0], true)
+	a.Cond(ids1[5], false)
+	b.Cond(ids2[5], false)
+	b.Cond(ids2[7], true)
+
+	added, err := a.MergeWords(b.Snapshot())
+	if err != nil {
+		t.Fatalf("MergeWords: %v", err)
+	}
+	if added != 1 { // only point 7 true is new
+		t.Errorf("added = %d, want 1", added)
+	}
+	if a.Count() != 3 {
+		t.Errorf("count = %d, want 3", a.Count())
+	}
+	if _, err := a.MergeWords([]uint64{}); err == nil {
+		t.Error("MergeWords accepted wrong-length snapshot")
+	}
+}
+
+func TestCalculatorRestoreTotal(t *testing.T) {
+	s, ids := newTestSpace(10)
+	c := NewCalculator(s)
+	run := s.NewSet()
+	run.Cond(ids[0], true)
+	run.Cond(ids[1], false)
+	c.Score(run)
+	snap := c.Total().Snapshot()
+
+	c2 := NewCalculator(s)
+	if err := c2.RestoreTotal(snap); err != nil {
+		t.Fatalf("RestoreTotal: %v", err)
+	}
+	if c2.Total().Count() != 2 {
+		t.Fatalf("restored count = %d, want 2", c2.Total().Count())
+	}
+	// A re-scored identical run must show zero incremental coverage:
+	// the restore also reset the batch snapshot.
+	sc := c2.Score(run.Clone())
+	if sc.Incremental != 0 {
+		t.Errorf("incremental after restore = %d, want 0", sc.Incremental)
+	}
+	if err := c2.RestoreTotal([]uint64{1, 2, 3}); err == nil {
+		t.Error("RestoreTotal accepted wrong-length snapshot")
+	}
+}

@@ -1,0 +1,62 @@
+package tok
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// wordsOf reassembles the fuzzer's byte stream into instruction words
+// (the tokenizer's input granularity).
+func wordsOf(data []byte) []uint32 {
+	words := make([]uint32, 0, len(data)/4)
+	for i := 0; i+3 < len(data); i += 4 {
+		words = append(words, binary.LittleEndian.Uint32(data[i:]))
+	}
+	return words
+}
+
+// FuzzCorpusTokenRoundTrip checks the tokenizer's core invariants on
+// arbitrary corpora:
+//
+//  1. With an uncapped vocabulary trained on the words themselves,
+//     Decode(Encode(words)) reproduces the words exactly — every
+//     parcel is in vocabulary, so the parcel pairing must be lossless.
+//  2. With a capped vocabulary (OOV parcels map to UNK, which decodes
+//     as parcel 0x0000), the word count is still preserved: framing
+//     tokens are skipped and parcels stay paired.
+func FuzzCorpusTokenRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x13, 0x00, 0x00, 0x00})                         // NOP
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x00}) // extremes
+	f.Add([]byte{0xB3, 0x05, 0xC6, 0x00, 0x93, 0x85, 0x15, 0x00, 0x63, 0x08, 0xC6, 0x00})
+	f.Add([]byte{1, 2, 3}) // sub-word tail is dropped
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := wordsOf(data)
+		if len(words) == 0 {
+			return
+		}
+
+		full := Train([][]uint32{words}, 0)
+		got := full.Decode(full.Encode(words))
+		if len(got) != len(words) {
+			t.Fatalf("full-vocab round trip changed length: %d -> %d", len(words), len(got))
+		}
+		for i := range words {
+			if got[i] != words[i] {
+				t.Fatalf("word %d: %#08x -> %#08x", i, words[i], got[i])
+			}
+		}
+
+		small := Train([][]uint32{words}, NumSpecial+1)
+		lossy := small.Decode(small.Encode(words))
+		if len(lossy) != len(words) {
+			t.Fatalf("capped-vocab round trip changed length: %d -> %d", len(words), len(lossy))
+		}
+		// Every token must render for debugging, including UNK paths.
+		for _, id := range small.Encode(words) {
+			if small.String(id) == "" {
+				t.Fatalf("token %d renders as empty string", id)
+			}
+		}
+	})
+}

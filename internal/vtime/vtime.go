@@ -58,3 +58,11 @@ func (c *Clock) Hours() float64 { return c.elapsed / 3600 }
 
 // Reset zeroes the clock.
 func (c *Clock) Reset() { c.elapsed = 0 }
+
+// Seconds returns the exact elapsed virtual seconds, for checkpoint
+// serialization (Elapsed rounds through time.Duration's nanosecond
+// grid, which would perturb resumed trajectories in the last bits).
+func (c *Clock) Seconds() float64 { return c.elapsed }
+
+// SetSeconds restores the clock to an exact elapsed value.
+func (c *Clock) SetSeconds(s float64) { c.elapsed = s }

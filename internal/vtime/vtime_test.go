@@ -58,3 +58,20 @@ func TestZeroInstancesDefaultsToOne(t *testing.T) {
 		t.Errorf("Elapsed = %v, want 2s", c.Elapsed())
 	}
 }
+
+func TestSecondsRoundTripExact(t *testing.T) {
+	c := NewVCS()
+	for i := 0; i < 1000; i++ {
+		c.ChargeTest(uint64(137 * i))
+	}
+	s := c.Seconds()
+	c2 := NewVCS()
+	c2.SetSeconds(s)
+	if c2.Hours() != c.Hours() {
+		t.Errorf("Hours after SetSeconds = %v, want exactly %v", c2.Hours(), c.Hours())
+	}
+	// Elapsed() would round through nanoseconds; Seconds must not.
+	if c2.Seconds() != s {
+		t.Errorf("Seconds round trip changed the value")
+	}
+}
