@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"chatfuzz/internal/baseline/randfuzz"
 	"chatfuzz/internal/baseline/thehuzz"
@@ -53,7 +54,8 @@ func benchPipeline(b *testing.B) *core.Pipeline {
 
 const benchBody = 24
 
-// runBenchCampaign runs one scaled campaign and returns the fuzzer.
+// runBenchCampaign runs one scaled campaign and returns the (closed)
+// fuzzer: its engine workers are released, its results stay readable.
 func runBenchCampaign(gen core.Generator, dutName string, tests int, detect bool) *core.Fuzzer {
 	var f *core.Fuzzer
 	if dutName == "boom" {
@@ -61,6 +63,7 @@ func runBenchCampaign(gen core.Generator, dutName string, tests int, detect bool
 	} else {
 		f = core.NewFuzzer(gen, rocket.New(), core.Options{BatchSize: 16, Detect: detect})
 	}
+	defer f.Close()
 	f.RunTests(tests)
 	return f
 }
@@ -250,13 +253,13 @@ func BenchmarkAblationBaselines(b *testing.B) {
 // BenchmarkCampaignOrchestrator runs the sharded multi-campaign
 // orchestrator (4 shards, bandit over LLM/TheHuzz/random arms) against
 // a single TheHuzz campaign at the same total test budget, reporting
-// the merged fleet coverage and the fleet's virtual wall-clock speedup
-// from sharding.
+// the merged fleet coverage, the fleet's virtual wall-clock speedup
+// from sharding, and the real wall-clock speedup of running the fleet
+// on per-shard execution engines versus the seed fork-join loop.
 func BenchmarkCampaignOrchestrator(b *testing.B) {
 	p := benchPipeline(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		o, err := campaign.New(campaign.Config{Shards: 4, BatchSize: 16, Seed: 1},
+	newFleet := func(serial bool) *campaign.Orchestrator {
+		o, err := campaign.New(campaign.Config{Shards: 4, BatchSize: 16, Seed: 1, Serial: serial},
 			func() rtl.DUT { return rocket.New() },
 			campaign.LLMArm(p),
 			campaign.TheHuzzArm(benchBody),
@@ -265,7 +268,20 @@ func BenchmarkCampaignOrchestrator(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		return o
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serialFleet := newFleet(true)
+		serialFleet.RunTests(320)
+		serialFleet.Close()
+		tSerial := time.Since(t0)
+
+		t1 := time.Now()
+		o := newFleet(false)
 		o.RunTests(320)
+		tEngine := time.Since(t1)
 
 		single := runBenchCampaign(thehuzz.New(1, benchBody), "rocket", 320, false)
 
@@ -274,10 +290,12 @@ func BenchmarkCampaignOrchestrator(b *testing.B) {
 		if h := o.Hours(); h > 0 {
 			b.ReportMetric(single.Clk.Hours()/h, "speedup_x")
 		}
+		b.ReportMetric(tSerial.Seconds()/tEngine.Seconds(), "engine_speedup_x")
 		var pulls float64
 		for _, a := range o.Report().Arms {
 			pulls += float64(a.Pulls)
 		}
+		o.Close()
 		b.ReportMetric(pulls, "arm_pulls")
 	}
 }
@@ -290,7 +308,7 @@ func BenchmarkRocketSimulation(b *testing.B) {
 	c := corpus.Generate(corpus.Config{Seed: 1, Functions: 32, MinLen: 20, MaxLen: 40})
 	imgs := make([]mem.Image, len(c.Functions))
 	for i, fn := range c.Functions {
-		imgs[i], _ = prog.Build(prog.Program{Body: fn})
+		imgs[i], _ = prog.MustBuild(prog.Program{Body: fn})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -304,7 +322,7 @@ func BenchmarkBoomSimulation(b *testing.B) {
 	c := corpus.Generate(corpus.Config{Seed: 2, Functions: 32, MinLen: 20, MaxLen: 40})
 	imgs := make([]mem.Image, len(c.Functions))
 	for i, fn := range c.Functions {
-		imgs[i], _ = prog.Build(prog.Program{Body: fn})
+		imgs[i], _ = prog.MustBuild(prog.Program{Body: fn})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -317,7 +335,7 @@ func BenchmarkGoldenISS(b *testing.B) {
 	c := corpus.Generate(corpus.Config{Seed: 3, Functions: 32, MinLen: 20, MaxLen: 40})
 	imgs := make([]mem.Image, len(c.Functions))
 	for i, fn := range c.Functions {
-		imgs[i], _ = prog.Build(prog.Program{Body: fn})
+		imgs[i], _ = prog.MustBuild(prog.Program{Body: fn})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -353,5 +371,35 @@ func BenchmarkPPOStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step(prompts, reward)
+	}
+}
+
+// BenchmarkEngine is the execution-engine acceptance benchmark: the
+// same fixed-seed campaign (Rocket, differential detection on,
+// GOMAXPROCS simulation workers) timed on the seed fork-join loop and
+// on the persistent pipelined engine. The speedup_x metric is
+// serial-time over engine-time; the two runs produce bit-identical
+// trajectories (asserted by TestEngineMatchesSerialPath), so the ratio
+// measures pure execution efficiency: persistent workers, reusable
+// per-worker scratch, pooled coverage sets and trace buffers, and
+// generation double-buffered against simulation.
+func BenchmarkEngine(b *testing.B) {
+	const tests = 640
+	campaign := func(serial bool) time.Duration {
+		g := randfuzz.New(21, benchBody)
+		f := core.NewFuzzer(g, rocket.New(), core.Options{BatchSize: 16, Detect: true, Serial: serial})
+		defer f.Close()
+		t0 := time.Now()
+		f.RunTests(tests)
+		return time.Since(t0)
+	}
+	campaign(false) // warm the harness caches outside the timings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tSerial := campaign(true)
+		tEngine := campaign(false)
+		b.ReportMetric(tSerial.Seconds()/tEngine.Seconds(), "speedup_x")
+		b.ReportMetric(float64(tests)/tEngine.Seconds(), "engine_tests/s")
+		b.ReportMetric(float64(tests)/tSerial.Seconds(), "serial_tests/s")
 	}
 }

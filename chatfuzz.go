@@ -44,6 +44,27 @@
 //	    chatfuzz.LLMArm(p), chatfuzz.TheHuzzArm(24),
 //	    chatfuzz.RandInstArm(24), chatfuzz.RandFuzzArm(24))
 //	o2.RunTests(4000)
+//
+// Execution engine: batches run on a persistent, pipelined execution
+// engine by default — a worker pool that lives across rounds with
+// reusable per-worker scratch (platform memory, golden-model ISS,
+// caches, coverage sets, trace buffers), committing results in
+// deterministic input order and double-buffering generation against
+// simulation. Options.Serial (and CampaignConfig.Serial) fall back to
+// the original fork-join loop; both paths are bit-identical, so the
+// switch only trades throughput. Call Fuzzer.Close (or
+// Orchestrator.Close) when a campaign is finished to release the
+// engine's workers deterministically.
+//
+// Mixed fleets: NewMixedOrchestrator runs heterogeneous designs in
+// one fleet — shard s simulates newDUTs[s%len(newDUTs)], each design
+// keeps its own merged coverage bitmap, and the bandit schedules arms
+// across the whole fleet:
+//
+//	o, err := chatfuzz.NewMixedOrchestrator(
+//	    chatfuzz.CampaignConfig{Shards: 4, Seed: 1},
+//	    []func() chatfuzz.DUT{chatfuzz.NewRocket, chatfuzz.NewBoom},
+//	    chatfuzz.TheHuzzArm(24), chatfuzz.RandInstArm(24))
 package chatfuzz
 
 import (
@@ -112,6 +133,8 @@ type (
 	CampaignReport = campaign.Report
 	// ArmReport is one arm's scheduling statistics.
 	ArmReport = campaign.ArmReport
+	// DesignReport is one design's merged coverage in a mixed fleet.
+	DesignReport = campaign.DesignReport
 )
 
 // Finding identifiers (paper §V-B).
@@ -161,6 +184,14 @@ func NewOrchestrator(cfg CampaignConfig, newDUT func() DUT, arms ...ArmSpec) (*O
 	return campaign.New(cfg, newDUT, arms...)
 }
 
+// NewMixedOrchestrator builds a heterogeneous fleet: shard s simulates
+// the design built by newDUTs[s % len(newDUTs)] (e.g. an alternating
+// Rocket+BOOM fleet), with per-design merged coverage bitmaps and a
+// fleet-wide bandit.
+func NewMixedOrchestrator(cfg CampaignConfig, newDUTs []func() DUT, arms ...ArmSpec) (*Orchestrator, error) {
+	return campaign.NewMixed(cfg, newDUTs, arms...)
+}
+
 // ResumeCampaign rebuilds a fleet from a checkpoint written by
 // Orchestrator.Checkpoint; the continued merged trajectory is
 // bit-identical to an uninterrupted run.
@@ -171,6 +202,12 @@ func ResumeCampaign(r io.Reader, newDUT func() DUT, arms ...ArmSpec) (*Orchestra
 // ResumeCampaignFile rebuilds a fleet from a checkpoint file.
 func ResumeCampaignFile(path string, newDUT func() DUT, arms ...ArmSpec) (*Orchestrator, error) {
 	return campaign.ResumeFile(path, newDUT, arms...)
+}
+
+// ResumeMixedCampaign rebuilds a heterogeneous fleet from a checkpoint;
+// newDUTs must reproduce the original shard-to-design mapping.
+func ResumeMixedCampaign(r io.Reader, newDUTs []func() DUT, arms ...ArmSpec) (*Orchestrator, error) {
+	return campaign.ResumeMixed(r, newDUTs, arms...)
 }
 
 // LLMArm schedules a trained pipeline's model as a generator arm.

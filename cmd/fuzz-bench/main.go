@@ -9,6 +9,13 @@
 //
 //	fuzz-bench campaign -shards 4 -tests 2000 -checkpoint fleet.json
 //	fuzz-bench campaign -resume -checkpoint fleet.json -tests 4000
+//
+// Campaign knobs of note: -dut takes a comma list (e.g.
+// "rocket,boom") to run a mixed fleet whose shards alternate designs;
+// -parallel sets simulation workers per shard; -serial disables the
+// persistent batch execution engine and runs the reference fork-join
+// loop (both paths are bit-identical — the flag exists for
+// benchmarking and debugging).
 package main
 
 import (
@@ -35,22 +42,27 @@ func campaignMain(args []string) {
 		batch      = fs.Int("batch", 16, "tests per round per shard")
 		body       = fs.Int("body", 24, "instructions per test")
 		seed       = fs.Int64("seed", 1, "campaign seed")
-		dutName    = fs.String("dut", "rocket", "design under test: rocket or boom")
+		dutNames   = fs.String("dut", "rocket", "designs under test: comma list of rocket/boom; shards alternate designs")
+		parallel   = fs.Int("parallel", 1, "simulation workers per shard (0 = GOMAXPROCS)")
+		serial     = fs.Bool("serial", false, "run the reference fork-join loop instead of the batch execution engine")
 		llm        = fs.Bool("llm", false, "train a quick pipeline and schedule the LLM arm")
 		checkpoint = fs.String("checkpoint", "", "checkpoint file to write after the run")
 		resume     = fs.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 	)
 	fs.Parse(args)
 
-	var newDUT func() rtl.DUT
-	switch *dutName {
-	case "rocket":
-		newDUT = func() rtl.DUT { return rocket.New() }
-	case "boom":
-		newDUT = func() rtl.DUT { return boom.New() }
-	default:
-		log.Fatalf("unknown dut %q", *dutName)
+	var newDUTs []func() rtl.DUT
+	for _, name := range strings.Split(*dutNames, ",") {
+		switch strings.TrimSpace(name) {
+		case "rocket":
+			newDUTs = append(newDUTs, func() rtl.DUT { return rocket.New() })
+		case "boom":
+			newDUTs = append(newDUTs, func() rtl.DUT { return boom.New() })
+		default:
+			log.Fatalf("unknown dut %q", name)
+		}
 	}
+	newDUT := newDUTs[0]
 	// Fail fast on a bad checkpoint before any expensive work: with
 	// -llm the pipeline training below takes minutes, and discovering
 	// a missing file or mismatched arm set afterwards wastes all of it.
@@ -93,25 +105,30 @@ func campaignMain(args []string) {
 		// scheduling flags below would otherwise be silently ignored.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "shards", "batch", "seed":
+			case "shards", "batch", "seed", "parallel":
 				fmt.Printf("warning: -%s is ignored with -resume (the checkpoint's value is used)\n", f.Name)
+			case "serial":
+				fmt.Println("warning: -serial is ignored with -resume (resumed fleets run on the engine path)")
 			}
 		})
-		o, err = campaign.ResumeFile(*checkpoint, newDUT, arms...)
+		o, err = campaign.ResumeMixedFile(*checkpoint, newDUTs, arms...)
 		if err != nil {
 			log.Fatalf("resume: %v", err)
 		}
 		fmt.Printf("resumed at round %d, %d tests, %.2f%% coverage\n", o.Rounds(), o.Tests(), o.Coverage())
 	} else {
-		o, err = campaign.New(campaign.Config{
+		o, err = campaign.NewMixed(campaign.Config{
 			Shards:    *shards,
 			BatchSize: *batch,
 			Seed:      *seed,
-		}, newDUT, arms...)
+			Parallel:  *parallel,
+			Serial:    *serial,
+		}, newDUTs, arms...)
 		if err != nil {
 			log.Fatalf("campaign: %v", err)
 		}
 	}
+	defer o.Close()
 
 	o.RunTests(*tests)
 	fmt.Print(o.Report())

@@ -10,9 +10,9 @@ import (
 	"os"
 
 	"chatfuzz/internal/core"
+	"chatfuzz/internal/rtl"
 	"chatfuzz/internal/rtl/boom"
 	"chatfuzz/internal/rtl/rocket"
-	"chatfuzz/internal/rtl"
 )
 
 func main() {

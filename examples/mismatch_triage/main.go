@@ -70,7 +70,7 @@ func main() {
 
 	for i, tr := range triggers {
 		fmt.Printf("=== %s ===\n", tr.name)
-		img, _ := prog.Build(prog.Program{Body: tr.body})
+		img, _ := prog.MustBuild(prog.Program{Body: tr.body})
 		if tr.data != nil {
 			var seg mem.Image
 			seg.AddWords(mem.DataBase+0x2000, tr.data)

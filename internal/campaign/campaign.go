@@ -22,6 +22,15 @@
 // independent simulator rigs running in parallel, so Fig. 2-style
 // curves from Trajectory() reflect fleet wall-clock, not the sum of
 // per-rig time.
+//
+// Each shard executes its batches on a persistent pipelined engine
+// (internal/engine) with Config.Parallel workers and reusable scratch;
+// Config.Serial falls back to the fork-join reference loop, with
+// bit-identical results either way. Fleets may be heterogeneous:
+// NewMixed assigns designs to shards round-robin (e.g. Rocket+BOOM),
+// each design keeping its own fleet-merged coverage bitmap while the
+// bandit, virtual clock and TheHuzz pool sync span the whole fleet.
+// Call Close when done to release the shard engines.
 package campaign
 
 import (
@@ -72,6 +81,14 @@ type Config struct {
 	// Parallel bounds simulation workers inside each shard (default
 	// 1: the shards themselves are the parallelism).
 	Parallel int
+	// Serial disables the persistent batch execution engine inside
+	// every shard and runs the original fork-join loop instead. Both
+	// paths are bit-identical; Serial exists for determinism tests and
+	// benchmarks. It is an execution detail, not a scheduling
+	// parameter, so it is excluded from checkpoints (an engine run's
+	// checkpoint is byte-identical to a serial run's); resumed fleets
+	// therefore always run on the engine path.
+	Serial bool `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -109,19 +126,36 @@ type shard struct {
 type Orchestrator struct {
 	Cfg Config
 
-	specs  []ArmSpec
-	bandit *UCB1
-	shards []*shard
-	global *cov.Set
-	merged []core.ProgressPoint
-	round  int
-	tests  int
+	specs   []ArmSpec
+	bandit  *UCB1
+	shards  []*shard
+	designs []string            // per-shard DUT name, in shard order
+	names   []string            // sorted unique design names
+	globals map[string]*cov.Set // fleet-merged coverage, per design
+	merged  []core.ProgressPoint
+	round   int
+	tests   int
 }
 
-// New builds a fleet: one DUT per shard via newDUT, one instance of
-// every arm per shard, and a shared bandit over the arms.
+// New builds a homogeneous fleet: one DUT per shard via newDUT, one
+// instance of every arm per shard, and a shared bandit over the arms.
 func New(cfg Config, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
+	return NewMixed(cfg, []func() rtl.DUT{newDUT}, specs...)
+}
+
+// NewMixed builds a heterogeneous fleet: shard s simulates the design
+// built by newDUTs[s % len(newDUTs)], so a two-constructor fleet of
+// four shards alternates Rocket and BOOM rigs. Each design keeps its
+// own fleet-merged coverage bitmap (coverage spaces differ between
+// designs and cannot be merged); the bandit still compares every arm
+// across the whole fleet on the shared bins-per-virtual-hour scale,
+// and cross-shard mutation-pool sync spans designs, since test
+// programs are design-independent.
+func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
 	cfg = cfg.withDefaults()
+	if len(newDUTs) == 0 {
+		return nil, fmt.Errorf("campaign: at least one DUT constructor is required")
+	}
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("campaign: at least one generator arm is required")
 	}
@@ -133,12 +167,13 @@ func New(cfg Config, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, er
 		seen[sp.Name] = true
 	}
 	o := &Orchestrator{
-		Cfg:    cfg,
-		specs:  specs,
-		bandit: NewUCB1(len(specs), cfg.ExploreC),
+		Cfg:     cfg,
+		specs:   specs,
+		bandit:  NewUCB1(len(specs), cfg.ExploreC),
+		globals: make(map[string]*cov.Set),
 	}
 	for s := 0; s < cfg.Shards; s++ {
-		dut := newDUT()
+		dut := newDUTs[s%len(newDUTs)]()
 		arms := make([]arm, len(specs))
 		rec := make([]*recorded, len(specs))
 		for i, sp := range specs {
@@ -163,13 +198,31 @@ func New(cfg Config, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, er
 			BatchSize: cfg.BatchSize,
 			Detect:    cfg.Detect,
 			Parallel:  cfg.Parallel,
+			Serial:    cfg.Serial,
 		})
-		if s == 0 {
-			o.global = dut.Space().NewSet()
+		name := dut.Name()
+		if g, ok := o.globals[name]; ok {
+			if g.Space().NumBins() != dut.Space().NumBins() {
+				return nil, fmt.Errorf("campaign: DUTs named %q disagree on coverage bins (%d vs %d)",
+					name, g.Space().NumBins(), dut.Space().NumBins())
+			}
+		} else {
+			o.globals[name] = dut.Space().NewSet()
+			o.names = append(o.names, name)
 		}
+		o.designs = append(o.designs, name)
 		o.shards = append(o.shards, &shard{fuz: fuz, arms: arms, rec: rec})
 	}
+	sort.Strings(o.names)
 	return o, nil
+}
+
+// Close releases every shard's execution engine. The orchestrator's
+// reports and trajectory stay readable; no further rounds may run.
+func (o *Orchestrator) Close() {
+	for _, s := range o.shards {
+		s.fuz.Close()
+	}
 }
 
 // armSeed derives the per-(shard, round) generator seed as a pure
@@ -218,7 +271,7 @@ func (o *Orchestrator) RunRound() {
 
 	// Barrier: merge bitmaps and credit the bandit in shard order.
 	for i, s := range o.shards {
-		added, err := o.global.MergeWords(s.fuz.Calc.Total().Snapshot())
+		added, err := o.globals[o.designs[i]].MergeWords(s.fuz.Calc.Total().Snapshot())
 		if err != nil {
 			panic("campaign: shard coverage space diverged: " + err.Error())
 		}
@@ -231,9 +284,12 @@ func (o *Orchestrator) RunRound() {
 		o.tests += deltas[i].tests
 	}
 	if !o.Cfg.NoSync {
-		snap := o.global.Snapshot()
-		for _, s := range o.shards {
-			if _, err := s.fuz.Calc.Total().MergeWords(snap); err != nil {
+		snaps := make(map[string][]uint64, len(o.names))
+		for _, n := range o.names {
+			snaps[n] = o.globals[n].Snapshot()
+		}
+		for i, s := range o.shards {
+			if _, err := s.fuz.Calc.Total().MergeWords(snaps[o.designs[i]]); err != nil {
 				panic("campaign: global sync: " + err.Error())
 			}
 		}
@@ -243,7 +299,7 @@ func (o *Orchestrator) RunRound() {
 	o.merged = append(o.merged, core.ProgressPoint{
 		Tests:    o.tests,
 		Hours:    o.Hours(),
-		Coverage: o.global.Percent(),
+		Coverage: o.Coverage(),
 	})
 }
 
@@ -337,7 +393,37 @@ func (o *Orchestrator) RunTests(n int) {
 }
 
 // Coverage returns the fleet's merged condition-coverage percentage.
-func (o *Orchestrator) Coverage() float64 { return o.global.Percent() }
+// In a mixed fleet this aggregates across designs: hit bins over total
+// bins, summed over every design's merged bitmap.
+func (o *Orchestrator) Coverage() float64 {
+	hit, total := 0, 0
+	for _, n := range o.names {
+		g := o.globals[n]
+		hit += g.Count()
+		total += g.Space().NumBins()
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hit) / float64(total)
+}
+
+// DesignCoverage returns one design's merged coverage percentage, or
+// -1 if no shard simulates that design.
+func (o *Orchestrator) DesignCoverage(name string) float64 {
+	g, ok := o.globals[name]
+	if !ok {
+		return -1
+	}
+	return g.Percent()
+}
+
+// Designs returns the sorted design names the fleet simulates.
+func (o *Orchestrator) Designs() []string {
+	out := make([]string, len(o.names))
+	copy(out, o.names)
+	return out
+}
 
 // Tests returns the total tests executed across all shards.
 func (o *Orchestrator) Tests() int { return o.tests }
@@ -377,6 +463,16 @@ type ArmReport struct {
 	MeanReward float64
 }
 
+// DesignReport is one design's merged coverage in a (possibly mixed)
+// fleet.
+type DesignReport struct {
+	Name string
+	// Shards is how many shards simulate this design.
+	Shards int
+	// Coverage is the design's fleet-merged condition coverage %.
+	Coverage float64
+}
+
 // Report summarises the fleet run.
 type Report struct {
 	Shards   int
@@ -384,7 +480,9 @@ type Report struct {
 	Tests    int
 	Hours    float64
 	Coverage float64
-	Arms     []ArmReport
+	// Designs lists per-design merged coverage, sorted by name.
+	Designs []DesignReport
+	Arms    []ArmReport
 }
 
 // Report returns the fleet summary, including per-arm pull counts.
@@ -394,7 +492,20 @@ func (o *Orchestrator) Report() Report {
 		Rounds:   o.round,
 		Tests:    o.tests,
 		Hours:    o.Hours(),
-		Coverage: o.global.Percent(),
+		Coverage: o.Coverage(),
+	}
+	for _, n := range o.names {
+		nShards := 0
+		for _, d := range o.designs {
+			if d == n {
+				nShards++
+			}
+		}
+		r.Designs = append(r.Designs, DesignReport{
+			Name:     n,
+			Shards:   nShards,
+			Coverage: o.globals[n].Percent(),
+		})
 	}
 	for i, sp := range o.specs {
 		r.Arms = append(r.Arms, ArmReport{
@@ -411,6 +522,11 @@ func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign: %d shards, %d rounds, %d tests, %.2f virtual h, merged coverage %.2f%%\n",
 		r.Shards, r.Rounds, r.Tests, r.Hours, r.Coverage)
+	if len(r.Designs) > 1 {
+		for _, d := range r.Designs {
+			fmt.Fprintf(&b, "  %-8s %d shards, merged coverage %.2f%%\n", d.Name, d.Shards, d.Coverage)
+		}
+	}
 	fmt.Fprintf(&b, "%-10s %6s %12s\n", "arm", "pulls", "mean reward")
 	for _, a := range r.Arms {
 		fmt.Fprintf(&b, "%-10s %6d %12.3f\n", a.Name, a.Pulls, a.MeanReward)

@@ -205,8 +205,8 @@ func TestResumeRejectsDifferentDUT(t *testing.T) {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	_, err := Resume(&buf, func() rtl.DUT { return boom.New() }, testArms()...)
-	if err == nil || !strings.Contains(err.Error(), "coverage bins") {
-		t.Errorf("Resume against a different DUT: err = %v, want coverage-bin fingerprint mismatch", err)
+	if err == nil || !strings.Contains(err.Error(), "design") {
+		t.Errorf("Resume against a different DUT: err = %v, want per-shard design mismatch", err)
 	}
 }
 

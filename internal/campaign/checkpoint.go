@@ -10,29 +10,40 @@ import (
 	"chatfuzz/internal/rtl"
 )
 
-// checkpointVersion guards the JSON layout.
-const checkpointVersion = 1
+// checkpointVersion guards the JSON layout. Version 2 introduced
+// heterogeneous fleets: per-design merged bitmaps (Globals keyed by
+// design name) and the per-shard design list replace the single
+// Global bitmap and Bins fingerprint of version 1.
+const checkpointVersion = 2
 
 // checkpointFile is the serialized form of a paused fleet. Arms holds
 // the arm signatures (name + parameters), which Resume validates so a
 // mis-parameterised resume fails loudly instead of silently diverging.
 // Generator rng state is deliberately absent: per-round seeds are a
 // pure function of (Config.Seed, shard, round), so Round is enough to
-// replay the remaining stream exactly.
+// replay the remaining stream exactly. Execution details (the
+// engine/serial switch) are likewise absent: the checkpoint captures
+// scheduling state only, so it is byte-identical across execution
+// paths.
 type checkpointFile struct {
 	Version int
 	Config  Config
 	Round   int
 	Tests   int
-	// Bins fingerprints the DUT's coverage space: the bitmap word
+	// Designs records each shard's DUT name, in shard order; Resume
+	// validates it against the rebuilt fleet so a shard cannot silently
+	// change design.
+	Designs []string
+	// Bins fingerprints each design's coverage space: the bitmap word
 	// count alone cannot distinguish spaces whose bin counts round to
 	// the same number of 64-bit words.
-	Bins   int
+	Bins   map[string]int
 	Arms   []string
 	Bandit banditState
-	Global []uint64
-	Merged []core.ProgressPoint
-	Shards []shardState
+	// Globals holds the fleet-merged coverage bitmap of every design.
+	Globals map[string][]uint64
+	Merged  []core.ProgressPoint
+	Shards  []shardState
 }
 
 type banditState struct {
@@ -61,10 +72,15 @@ func (o *Orchestrator) Checkpoint(w io.Writer) error {
 		Config:  o.Cfg,
 		Round:   o.round,
 		Tests:   o.tests,
-		Bins:    o.global.Space().NumBins(),
+		Designs: o.designs,
+		Bins:    make(map[string]int, len(o.names)),
 		Bandit:  banditState{Pulls: o.bandit.Pulls, W: o.bandit.W, Sums: o.bandit.Sums, T: o.bandit.T},
-		Global:  o.global.Snapshot(),
+		Globals: make(map[string][]uint64, len(o.names)),
 		Merged:  o.merged,
+	}
+	for _, n := range o.names {
+		cf.Bins[n] = o.globals[n].Space().NumBins()
+		cf.Globals[n] = o.globals[n].Snapshot()
 	}
 	for _, sp := range o.specs {
 		cf.Arms = append(cf.Arms, sp.sig)
@@ -91,6 +107,30 @@ func (o *Orchestrator) Checkpoint(w io.Writer) error {
 	return enc.Encode(&cf)
 }
 
+// decodeCheckpoint reads a checkpoint, probing the version before the
+// full strict decode: field layouts differ across versions (v1's Bins
+// was an int, v2's is a map), so decoding the v2 struct directly
+// against an old file would fail with a raw JSON type error and the
+// helpful version-mismatch message would be unreachable.
+func decodeCheckpoint(r io.Reader) (checkpointFile, error) {
+	var cf checkpointFile
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return cf, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var probe struct{ Version int }
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return cf, fmt.Errorf("campaign: decode checkpoint: %w", err)
+	}
+	if probe.Version != checkpointVersion {
+		return cf, fmt.Errorf("campaign: checkpoint version %d, want %d", probe.Version, checkpointVersion)
+	}
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		return cf, fmt.Errorf("campaign: decode checkpoint: %w", err)
+	}
+	return cf, nil
+}
+
 // CheckpointFile writes a checkpoint to path.
 func (o *Orchestrator) CheckpointFile(path string) error {
 	f, err := os.Create(path)
@@ -101,19 +141,24 @@ func (o *Orchestrator) CheckpointFile(path string) error {
 	return o.Checkpoint(f)
 }
 
-// Resume rebuilds a fleet from a checkpoint. The caller supplies the
-// same DUT constructor and arm specs as the original run (functions
-// cannot be serialized); Resume validates the arm names against the
-// checkpoint and restores bandit state, per-shard coverage, clocks and
-// arm state, so the continued run's merged trajectory is bit-identical
-// to an uninterrupted one.
+// Resume rebuilds a homogeneous fleet from a checkpoint. The caller
+// supplies the same DUT constructor and arm specs as the original run
+// (functions cannot be serialized); Resume validates the arm names
+// against the checkpoint and restores bandit state, per-shard
+// coverage, clocks and arm state, so the continued run's merged
+// trajectory is bit-identical to an uninterrupted one.
 func Resume(r io.Reader, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
-	var cf checkpointFile
-	if err := json.NewDecoder(r).Decode(&cf); err != nil {
-		return nil, fmt.Errorf("campaign: decode checkpoint: %w", err)
-	}
-	if cf.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint version %d, want %d", cf.Version, checkpointVersion)
+	return ResumeMixed(r, []func() rtl.DUT{newDUT}, specs...)
+}
+
+// ResumeMixed rebuilds a (possibly heterogeneous) fleet from a
+// checkpoint; newDUTs must reproduce the original shard-to-design
+// mapping (shard s gets newDUTs[s % len(newDUTs)]), which is validated
+// against the checkpoint's per-shard design names.
+func ResumeMixed(r io.Reader, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
+	cf, err := decodeCheckpoint(r)
+	if err != nil {
+		return nil, err
 	}
 	if len(cf.Arms) != len(specs) {
 		return nil, fmt.Errorf("campaign: checkpoint has %d arms, got %d specs", len(cf.Arms), len(specs))
@@ -123,12 +168,30 @@ func Resume(r io.Reader, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator
 			return nil, fmt.Errorf("campaign: arm %d is %q in checkpoint, %q in specs", i, sig, specs[i].sig)
 		}
 	}
-	o, err := New(cf.Config, newDUT, specs...)
+	o, err := NewMixed(cf.Config, newDUTs, specs...)
 	if err != nil {
 		return nil, err
 	}
-	if bins := o.global.Space().NumBins(); bins != cf.Bins {
-		return nil, fmt.Errorf("campaign: checkpoint was taken against a DUT with %d coverage bins, this DUT has %d — resume with the original DUT constructor", cf.Bins, bins)
+	// The fleet's shard engines are already running; release them if
+	// any of the validations below rejects the checkpoint.
+	restored := false
+	defer func() {
+		if !restored {
+			o.Close()
+		}
+	}()
+	if len(cf.Designs) != len(o.designs) {
+		return nil, fmt.Errorf("campaign: checkpoint has %d shard designs, config builds %d", len(cf.Designs), len(o.designs))
+	}
+	for i, want := range cf.Designs {
+		if o.designs[i] != want {
+			return nil, fmt.Errorf("campaign: shard %d is design %q in checkpoint but %q here — resume with the original DUT constructors", i, want, o.designs[i])
+		}
+	}
+	for _, n := range o.names {
+		if bins := o.globals[n].Space().NumBins(); bins != cf.Bins[n] {
+			return nil, fmt.Errorf("campaign: checkpoint was taken against a %q DUT with %d coverage bins, this one has %d — resume with the original DUT constructor", n, cf.Bins[n], bins)
+		}
 	}
 	if len(cf.Shards) != len(o.shards) {
 		return nil, fmt.Errorf("campaign: checkpoint has %d shards, config builds %d", len(cf.Shards), len(o.shards))
@@ -144,8 +207,10 @@ func Resume(r io.Reader, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator
 	o.bandit.W = cf.Bandit.W
 	o.bandit.Sums = cf.Bandit.Sums
 	o.bandit.T = cf.Bandit.T
-	if err := o.global.LoadSnapshot(cf.Global); err != nil {
-		return nil, fmt.Errorf("campaign: global coverage: %w", err)
+	for _, n := range o.names {
+		if err := o.globals[n].LoadSnapshot(cf.Globals[n]); err != nil {
+			return nil, fmt.Errorf("campaign: global coverage for %q: %w", n, err)
+		}
 	}
 	for si, st := range cf.Shards {
 		s := o.shards[si]
@@ -171,6 +236,7 @@ func Resume(r io.Reader, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator
 			}
 		}
 	}
+	restored = true
 	return o, nil
 }
 
@@ -179,7 +245,10 @@ type CheckpointInfo struct {
 	Config Config
 	Round  int
 	Tests  int
-	Bins   int
+	// Designs records each shard's DUT name, in shard order.
+	Designs []string
+	// Bins fingerprints each design's coverage space.
+	Bins map[string]int
 	// Arms holds the arm signatures (name + parameters).
 	Arms []string
 }
@@ -193,22 +262,24 @@ func ReadCheckpointInfo(path string) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	defer f.Close()
-	var cf checkpointFile
-	if err := json.NewDecoder(f).Decode(&cf); err != nil {
-		return CheckpointInfo{}, fmt.Errorf("campaign: decode checkpoint: %w", err)
+	cf, err := decodeCheckpoint(f)
+	if err != nil {
+		return CheckpointInfo{}, err
 	}
-	if cf.Version != checkpointVersion {
-		return CheckpointInfo{}, fmt.Errorf("campaign: checkpoint version %d, want %d", cf.Version, checkpointVersion)
-	}
-	return CheckpointInfo{Config: cf.Config, Round: cf.Round, Tests: cf.Tests, Bins: cf.Bins, Arms: cf.Arms}, nil
+	return CheckpointInfo{Config: cf.Config, Round: cf.Round, Tests: cf.Tests, Designs: cf.Designs, Bins: cf.Bins, Arms: cf.Arms}, nil
 }
 
 // ResumeFile reads a checkpoint from path.
 func ResumeFile(path string, newDUT func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
+	return ResumeMixedFile(path, []func() rtl.DUT{newDUT}, specs...)
+}
+
+// ResumeMixedFile reads a heterogeneous-fleet checkpoint from path.
+func ResumeMixedFile(path string, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestrator, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Resume(f, newDUT, specs...)
+	return ResumeMixed(f, newDUTs, specs...)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"chatfuzz/internal/cov"
+	"chatfuzz/internal/engine"
 	"chatfuzz/internal/iss"
 	"chatfuzz/internal/mem"
 	"chatfuzz/internal/mismatch"
@@ -33,6 +34,25 @@ type Options struct {
 	Clock *vtime.Clock
 	// Parallel bounds simulation workers (0 = GOMAXPROCS).
 	Parallel int
+	// Serial disables the persistent batch execution engine and runs
+	// the original fork-join loop: a goroutine pool spawned per round,
+	// per-test scratch allocation, and generation strictly serialized
+	// against simulation. The two paths produce bit-identical
+	// trajectories, detector output and checkpoints; Serial exists as
+	// the reference implementation for determinism tests and as the
+	// baseline for the engine benchmarks.
+	Serial bool
+}
+
+// FeedbackFree is an optional Generator capability: a generator whose
+// Feedback is a no-op (random baselines, an LLM generator with online
+// learning off) returns true, telling the fuzzer that batch N+1 may be
+// generated before batch N's scores are committed. That is what lets
+// RunTests double-buffer — generation of the next round overlapping
+// DUT/ISS simulation of the current one — without perturbing the
+// generator's stream relative to the serial loop.
+type FeedbackFree interface {
+	FeedbackFree() bool
 }
 
 // Fuzzer drives the paper's fuzzing loop (Fig. 1a): the generator
@@ -40,6 +60,11 @@ type Options struct {
 // the golden model (trace), the Coverage Calculator scores entries,
 // the Mismatch Detector compares traces, and scores feed back to the
 // generator.
+//
+// Unless Options.Serial is set, batch execution is delegated to the
+// persistent pipelined engine (internal/engine): a worker pool that
+// lives across rounds with reusable per-worker scratch, committing
+// results in deterministic input order.
 type Fuzzer struct {
 	Gen  Generator
 	DUT  rtl.DUT
@@ -52,6 +77,8 @@ type Fuzzer struct {
 	Progress  []ProgressPoint
 
 	parallel int
+	eng      *engine.Engine
+	closed   bool
 }
 
 // NewFuzzer assembles a campaign.
@@ -74,16 +101,78 @@ func NewFuzzer(gen Generator, dut rtl.DUT, opts Options) *Fuzzer {
 	if opts.Detect {
 		f.Det = mismatch.NewDetector()
 	}
+	if !opts.Serial {
+		f.eng = engine.New(dut, engine.Config{Workers: opts.Parallel, Detect: opts.Detect})
+	}
 	return f
+}
+
+// Close releases the execution engine's worker pool. The fuzzer's
+// results (Progress, Det, Calc) stay readable, but no further batches
+// may run. Close is optional — an abandoned engine is reclaimed by a
+// finalizer — but deterministic release is cheaper than waiting on
+// the garbage collector.
+func (f *Fuzzer) Close() {
+	f.closed = true
+	if f.eng != nil {
+		f.eng.Close()
+		f.eng = nil
+	}
 }
 
 // Coverage returns the cumulative condition-coverage percentage.
 func (f *Fuzzer) Coverage() float64 { return f.Calc.Total().Percent() }
 
+// feedbackFree reports whether the generator declared its Feedback a
+// no-op, making cross-round generation prefetch safe.
+func (f *Fuzzer) feedbackFree() bool {
+	ff, ok := f.Gen.(FeedbackFree)
+	return ok && ff.FeedbackFree()
+}
+
+// commitOne performs the deterministic, in-order accounting of one
+// test: coverage scoring, differential analysis, virtual-clock charge
+// and the trajectory sample. buildErr marks a program the harness
+// refused to build — it is scored as invalid (zero standalone and
+// incremental coverage) and charged only the per-test overhead, never
+// run as an empty image that would pollute coverage and reward.
+func (f *Fuzzer) commitOne(buildErr error, res rtl.Result, golden []trace.Entry) cov.Scores {
+	var sc cov.Scores
+	if buildErr != nil {
+		sc = f.Calc.ScoreInvalid()
+		f.Clk.ChargeTest(0)
+		f.Tests++
+		if f.Det != nil {
+			// No traces to compare, but the test number was consumed:
+			// keep the detector's test count aligned with f.Tests.
+			f.Det.SkipTest()
+		}
+	} else {
+		sc = f.Calc.Score(res.Coverage)
+		f.Clk.ChargeTest(res.Cycles)
+		f.Tests++
+		if f.Det != nil {
+			// The detector is handed the post-increment test number so
+			// that a finding's Test field matches ProgressPoint.Tests
+			// for the test that produced it (they were off by one).
+			f.Det.Analyze(f.Tests, res.Trace, golden)
+		}
+	}
+	f.Progress = append(f.Progress, ProgressPoint{
+		Tests:    f.Tests,
+		Hours:    f.Clk.Hours(),
+		Coverage: sc.TotalPercent,
+	})
+	return sc
+}
+
 // runOne simulates one program on the DUT (and the golden model when
-// detection is on).
-func (f *Fuzzer) runOne(p prog.Program) (rtl.Result, []trace.Entry) {
-	img, _ := prog.Build(p)
+// detection is on) — the serial path's per-test body.
+func (f *Fuzzer) runOne(p prog.Program) (rtl.Result, []trace.Entry, error) {
+	img, _, err := prog.Build(p)
+	if err != nil {
+		return rtl.Result{}, nil, err
+	}
 	budget := prog.InstructionBudget(len(p.Body))
 	res := f.DUT.Run(img, budget)
 	var golden []trace.Entry
@@ -93,74 +182,120 @@ func (f *Fuzzer) runOne(p prog.Program) (rtl.Result, []trace.Entry) {
 		g := iss.New(m, img.Entry)
 		golden = g.Run(budget)
 	}
-	return res, golden
+	return res, golden, nil
+}
+
+// runBatch executes one fuzzing round of k tests. pre, when non-nil,
+// is a batch of exactly k programs generated ahead of time; nextK > 0
+// asks for the following round's batch to be generated — overlapping
+// this round's simulation when the generator is feedback-free — and
+// returned for the next call.
+func (f *Fuzzer) runBatch(k int, pre []prog.Program, nextK int) ([]cov.Scores, []prog.Program) {
+	if f.closed {
+		// Fail loudly on both execution paths: without this, a closed
+		// engine fuzzer would silently fall back to the serial loop.
+		panic("core: RunBatch after Close")
+	}
+	progs := pre
+	if progs == nil {
+		progs = f.Gen.GenerateBatch(k)
+	}
+	scores := make([]cov.Scores, len(progs))
+	var next []prog.Program
+
+	if f.eng != nil {
+		round := f.eng.Submit(progs)
+		if nextK > 0 && f.feedbackFree() {
+			// Double buffer: round N+1's generation overlaps round N's
+			// DUT/ISS simulation. Safe only when Feedback is a no-op,
+			// so the generator stream is identical to the serial order.
+			next = f.Gen.GenerateBatch(nextK)
+		}
+		f.Calc.BeginBatch()
+		round.Each(func(i int, o *engine.Outcome) {
+			scores[i] = f.commitOne(o.Err, o.Res, o.Golden)
+		})
+	} else {
+		type outcome struct {
+			res    rtl.Result
+			golden []trace.Entry
+			err    error
+		}
+		outs := make([]outcome, len(progs))
+
+		workers := f.parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(progs) {
+			workers = len(progs)
+		}
+		var wg sync.WaitGroup
+		nextIdx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range nextIdx {
+					res, golden, err := f.runOne(progs[i])
+					outs[i] = outcome{res, golden, err}
+				}
+			}()
+		}
+		for i := range progs {
+			nextIdx <- i
+		}
+		close(nextIdx)
+		wg.Wait()
+
+		// Deterministic, in-order accounting.
+		f.Calc.BeginBatch()
+		for i, o := range outs {
+			scores[i] = f.commitOne(o.err, o.res, o.golden)
+		}
+	}
+
+	f.Gen.Feedback(scores)
+	if nextK > 0 && next == nil {
+		next = f.Gen.GenerateBatch(nextK)
+	}
+	return scores, next
 }
 
 // RunBatch executes one fuzzing round and returns the per-entry
 // scores.
 func (f *Fuzzer) RunBatch() []cov.Scores {
-	progs := f.Gen.GenerateBatch(f.BatchSize)
-
-	type outcome struct {
-		res    rtl.Result
-		golden []trace.Entry
-	}
-	outs := make([]outcome, len(progs))
-
-	workers := f.parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(progs) {
-		workers = len(progs)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, golden := f.runOne(progs[i])
-				outs[i] = outcome{res, golden}
-			}
-		}()
-	}
-	for i := range progs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	// Deterministic, in-order accounting.
-	f.Calc.BeginBatch()
-	scores := make([]cov.Scores, len(progs))
-	for i, o := range outs {
-		scores[i] = f.Calc.Score(o.res.Coverage)
-		if f.Det != nil {
-			f.Det.Analyze(f.Tests, o.res.Trace, o.golden)
-		}
-		f.Clk.ChargeTest(o.res.Cycles)
-		f.Tests++
-		f.Progress = append(f.Progress, ProgressPoint{
-			Tests:    f.Tests,
-			Hours:    f.Clk.Hours(),
-			Coverage: scores[i].TotalPercent,
-		})
-	}
-	f.Gen.Feedback(scores)
+	scores, _ := f.runBatch(f.BatchSize, nil, 0)
 	return scores
 }
 
-// RunTests runs batches until n tests have executed.
+// RunTests runs batches until exactly n tests have executed: the final
+// batch is clamped so campaigns with different batch sizes execute
+// identical test counts (RunTests(500) at BatchSize 16 used to run 512
+// tests, skewing equal-budget comparisons and checkpoints).
+//
+// On the engine path the loop is double-buffered: while round N
+// simulates, round N+1's programs are generated, provided the
+// generator declares itself FeedbackFree.
 func (f *Fuzzer) RunTests(n int) {
+	var pre []prog.Program
 	for f.Tests < n {
-		f.RunBatch()
+		k := n - f.Tests
+		if k > f.BatchSize {
+			k = f.BatchSize
+		}
+		nextK := n - f.Tests - k
+		if nextK > f.BatchSize {
+			nextK = f.BatchSize
+		}
+		_, pre = f.runBatch(k, pre, nextK)
 	}
 }
 
 // RunVirtualHours runs until the virtual clock passes h hours or
 // maxTests tests have executed (a safety cap; 0 means no cap).
+// Whether another round runs depends on the committed clock, so this
+// loop cannot prefetch generation; rounds still execute on the engine.
 func (f *Fuzzer) RunVirtualHours(h float64, maxTests int) {
 	for f.Clk.Hours() < h {
 		if maxTests > 0 && f.Tests >= maxTests {

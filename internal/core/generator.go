@@ -73,6 +73,11 @@ func NewLLMGenerator(p *Pipeline, binsTotal int, online bool, seed int64) *LLMGe
 // Name implements Generator.
 func (g *LLMGenerator) Name() string { return "chatfuzz" }
 
+// FeedbackFree implements the optional engine capability: with online
+// PPO off, Feedback is a no-op and the execution engine may generate
+// the next batch while the current one simulates.
+func (g *LLMGenerator) FeedbackFree() bool { return g.Online == nil }
+
 // GenerateBatch implements Generator. Each test vector is assembled
 // from one or more model generations: a corpus prompt is completed by
 // the model until EOS (one function-sized chunk), and chunks are

@@ -220,7 +220,12 @@ func (p *Pipeline) CoverageTune(dut rtl.DUT) []ppo.Stats {
 		if len(words) == 0 {
 			return p.Cfg.Weights.NoImprovePenalty
 		}
-		img, _ := prog.Build(prog.Program{Body: words})
+		img, _, err := prog.Build(prog.Program{Body: words})
+		if err != nil {
+			// An unbuildable generation must read as a penalty, not as
+			// an all-zero image whose empty run would still be scored.
+			return p.Cfg.Weights.NoImprovePenalty
+		}
 		res := dut.Run(img, prog.InstructionBudget(len(words)))
 		return CoverageReward(calc.Score(res.Coverage), bins, p.Cfg.Weights)
 	}

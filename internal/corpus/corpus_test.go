@@ -97,7 +97,7 @@ func TestInterdependence(t *testing.T) {
 func TestCorpusRunsOnGoldenModel(t *testing.T) {
 	c := Generate(Config{Seed: 11, Functions: 30, MinLen: 12, MaxLen: 48})
 	for i, fn := range c.Functions {
-		img, _ := prog.Build(prog.Program{Body: fn})
+		img, _ := prog.MustBuild(prog.Program{Body: fn})
 		m := mem.Platform()
 		m.Load(img)
 		s := iss.New(m, img.Entry)

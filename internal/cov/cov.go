@@ -265,6 +265,17 @@ func (c *Calculator) Score(run *Set) Scores {
 	}
 }
 
+// ScoreInvalid scores a test that executed nothing — e.g. a program
+// the harness refused to build. Nothing is merged; the cumulative
+// totals are reported unchanged, so an invalid input reads as zero
+// standalone and zero incremental coverage to the reward function.
+func (c *Calculator) ScoreInvalid() Scores {
+	return Scores{
+		TotalBins:    c.total.Count(),
+		TotalPercent: c.total.Percent(),
+	}
+}
+
 // RestoreTotal loads a checkpointed cumulative bitmap, replacing the
 // calculator's total. The batch snapshot is reset to the restored
 // total, so the next Score sees no spurious incremental coverage.

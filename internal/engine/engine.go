@@ -1,0 +1,354 @@
+// Package engine implements the persistent, pipelined batch execution
+// engine behind the fuzzing loop: the component that turns a batch of
+// generated programs into simulation outcomes as fast as the hardware
+// allows, while keeping every observable result bit-identical to a
+// strictly serial execution.
+//
+// The seed implementation of core.Fuzzer.RunBatch spawned and joined a
+// fresh goroutine pool every round, allocated a new platform memory,
+// ISS, coverage set and trace buffers for every golden-model run, and
+// serialized all accounting behind the round barrier. The engine
+// replaces that fork-join body with:
+//
+//   - a worker pool that lives for the whole campaign (workers are
+//     spawned once and fed rounds over a channel, not re-created per
+//     round);
+//   - per-worker reusable scratch: a platform memory for the golden
+//     model, and — when the DUT implements rtl.ReusableDUT — a
+//     worker-private rtl.Runner whose caches, predictors and memory
+//     are reset instead of re-allocated, plus pooled coverage sets and
+//     trace buffers recycled at commit, so the steady-state loop is
+//     allocation-free;
+//   - in-order commit: Round.Each hands outcomes to the caller in
+//     input order as soon as each becomes ready, so scoring, mismatch
+//     detection and virtual-clock accounting overlap the simulation of
+//     later entries instead of waiting for the whole round.
+//
+// Determinism: workers only compute; every stateful side effect
+// (coverage merge, detector, clock, trajectory) happens in the
+// caller's goroutine in input order, exactly as the serial loop
+// performed it. A fixed-seed campaign therefore produces bit-identical
+// trajectories, detector output and checkpoints on the engine and the
+// serial path, regardless of worker count or scheduling.
+//
+// With a single worker (the default inside campaign shards, where the
+// shards themselves are the parallelism) the engine short-circuits the
+// channels entirely and executes jobs inline during Each, keeping the
+// scratch-reuse benefits without any cross-goroutine traffic.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"chatfuzz/internal/cov"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/trace"
+)
+
+// Config parameterises an engine.
+type Config struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Detect additionally runs every test on the golden-model ISS.
+	Detect bool
+}
+
+// Outcome is the execution result of one program of a round.
+type Outcome struct {
+	// Res is the DUT simulation result. Zero when Err is set.
+	Res rtl.Result
+	// Golden is the golden-model commit trace (Detect only).
+	Golden []trace.Entry
+	// Err reports a program the harness refused to build; the program
+	// executed nothing and must be scored as invalid.
+	Err error
+
+	pooledRes    bool // Res.Coverage/Res.Trace are engine-pooled scratch
+	pooledGolden bool // Golden is engine-pooled scratch
+}
+
+// pool is a tiny free-list. The engine prefers it over sync.Pool: no
+// per-Put boxing for slice types, and entries survive GC cycles, which
+// matters for a steady-state loop whose whole point is not allocating.
+type pool[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+func (p *pool[T]) get() (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var zero T
+	n := len(p.items)
+	if n == 0 {
+		return zero, false
+	}
+	it := p.items[n-1]
+	p.items[n-1] = zero
+	p.items = p.items[:n-1]
+	return it, true
+}
+
+func (p *pool[T]) put(it T) {
+	p.mu.Lock()
+	p.items = append(p.items, it)
+	p.mu.Unlock()
+}
+
+// shared is the engine state workers reference. It deliberately
+// excludes *Engine itself so that idle worker goroutines do not keep
+// an abandoned engine reachable: once the engine (and its owner) are
+// garbage, the Close finalizer fires, stops the workers, and the
+// shared state is collected with them.
+type shared struct {
+	dut    rtl.DUT
+	detect bool
+
+	sets    pool[*cov.Set]
+	traces  pool[[]trace.Entry]
+	goldens pool[[]trace.Entry]
+}
+
+// worker is one simulation context: the per-worker reusable scratch.
+type worker struct {
+	sh     *shared
+	runner rtl.Runner  // non-nil when the DUT is reusable
+	gmem   *mem.Memory // golden-model platform memory (Detect only)
+}
+
+func newWorker(sh *shared) *worker {
+	w := &worker{sh: sh}
+	if rd, ok := sh.dut.(rtl.ReusableDUT); ok {
+		w.runner = rd.NewRunner()
+	}
+	if sh.detect {
+		w.gmem = mem.Platform()
+	}
+	return w
+}
+
+// exec runs one program end to end: build, DUT simulation, and (when
+// detection is on) the golden-model reference run.
+func (w *worker) exec(r *Round, i int) {
+	o := &r.outs[i]
+	*o = Outcome{}
+	p := r.progs[i]
+	img, _, err := prog.Build(p)
+	if err != nil {
+		o.Err = err
+		r.markReady(i)
+		return
+	}
+	budget := prog.InstructionBudget(len(p.Body))
+	if w.runner != nil {
+		set, ok := w.sh.sets.get()
+		if ok {
+			set.Reset()
+		} else {
+			set = w.sh.dut.Space().NewSet()
+		}
+		tr, _ := w.sh.traces.get()
+		o.Res = w.runner.RunScratch(img, budget, set, tr)
+		o.pooledRes = true
+	} else {
+		o.Res = w.sh.dut.Run(img, budget)
+	}
+	if w.sh.detect {
+		w.gmem.Reset()
+		w.gmem.Load(img)
+		g := iss.New(w.gmem, img.Entry)
+		buf, _ := w.sh.goldens.get()
+		o.Golden = g.RunAppend(buf, budget)
+		o.pooledGolden = true
+	}
+	r.markReady(i)
+}
+
+// jobRef addresses one entry of an in-flight round.
+type jobRef struct {
+	r *Round
+	i int
+}
+
+// Engine executes rounds of programs against one DUT. One engine
+// serves one fuzzing campaign (a core.Fuzzer or a campaign shard) for
+// its whole lifetime; its workers and scratch persist across rounds.
+type Engine struct {
+	sh      *shared
+	workers int
+
+	jobs chan jobRef
+	stop chan struct{}
+	once sync.Once
+
+	inline *worker // Workers == 1: synchronous path, no goroutines
+	round  Round   // reused across rounds; at most one in flight
+}
+
+// New builds an engine over dut and starts its workers.
+//
+// Engines hold goroutines (when Workers > 1); release them with Close.
+// A finalizer closes abandoned engines as a safety net, so a leaked
+// engine degrades to garbage, not to a goroutine leak.
+func New(dut rtl.DUT, cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		sh:      &shared{dut: dut, detect: cfg.Detect},
+		workers: workers,
+		stop:    make(chan struct{}),
+	}
+	e.round.cond = sync.NewCond(&e.round.mu)
+	e.round.sh = e.sh
+	if workers == 1 {
+		e.inline = newWorker(e.sh)
+		e.round.inline = e.inline
+	} else {
+		e.jobs = make(chan jobRef)
+		for i := 0; i < workers; i++ {
+			go workerLoop(e.sh, e.jobs, e.stop)
+		}
+	}
+	runtime.SetFinalizer(e, (*Engine).Close)
+	return e
+}
+
+// Workers returns the worker count the engine resolved to.
+func (e *Engine) Workers() int { return e.workers }
+
+func workerLoop(sh *shared, jobs <-chan jobRef, stop <-chan struct{}) {
+	w := newWorker(sh)
+	for {
+		select {
+		case <-stop:
+			return
+		case j := <-jobs:
+			w.exec(j.r, j.i)
+		}
+	}
+}
+
+// Close stops the workers. The engine must not be used afterwards.
+// Close is idempotent and must not be called while a round is in
+// flight (between Submit and the end of Each).
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		runtime.SetFinalizer(e, nil)
+		close(e.stop)
+	})
+}
+
+// Submit starts executing a round of programs and returns its handle.
+// At most one round may be in flight per engine; the previous round
+// must have been fully drained with Each. The progs slice is read by
+// workers until Each returns and must not be mutated in between — the
+// caller is free to generate the next round's programs concurrently,
+// which is exactly how the fuzzer overlaps generation with simulation.
+func (e *Engine) Submit(progs []prog.Program) *Round {
+	select {
+	case <-e.stop:
+		panic("engine: Submit after Close")
+	default:
+	}
+	r := &e.round
+	if r.inFlight {
+		panic("engine: Submit before the previous round was drained")
+	}
+	n := len(progs)
+	r.progs = progs
+	if cap(r.outs) < n {
+		r.outs = make([]Outcome, n)
+		r.ready = make([]bool, n)
+	}
+	r.outs = r.outs[:n]
+	r.ready = r.ready[:n]
+	for i := range r.ready {
+		r.ready[i] = false
+	}
+	r.inFlight = true
+	if e.inline == nil {
+		// Feed the pool without blocking Submit: the caller's goroutine
+		// is the generator/committer and must stay available.
+		go func() {
+			for i := 0; i < n; i++ {
+				select {
+				case e.jobs <- jobRef{r, i}:
+				case <-e.stop:
+					return
+				}
+			}
+		}()
+	}
+	return r
+}
+
+// Round is one in-flight batch of programs. It references only the
+// engine's shared state (not the Engine itself), so an abandoned
+// engine stays collectible and its Close finalizer can fire.
+type Round struct {
+	sh     *shared
+	inline *worker
+	progs  []prog.Program
+	outs   []Outcome
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready []bool
+
+	inFlight bool
+}
+
+func (r *Round) markReady(i int) {
+	if r.inline != nil {
+		return
+	}
+	r.mu.Lock()
+	r.ready[i] = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Each hands every outcome to fn in input order, blocking per entry
+// until it is ready. The Outcome (including Res.Coverage, Res.Trace
+// and Golden) is only valid for the duration of the callback: the
+// engine recycles the backing scratch as soon as fn returns, so fn
+// must copy anything it keeps (the calculator merges and the detector
+// copies entries by value, so the fuzzing loop needs no copies).
+func (r *Round) Each(fn func(i int, o *Outcome)) {
+	for i := range r.outs {
+		if r.inline != nil {
+			r.inline.exec(r, i)
+		} else {
+			r.mu.Lock()
+			for !r.ready[i] {
+				r.cond.Wait()
+			}
+			r.mu.Unlock()
+		}
+		o := &r.outs[i]
+		fn(i, o)
+		r.sh.recycle(o)
+	}
+	r.progs = nil
+	r.inFlight = false
+}
+
+// recycle returns an outcome's pooled scratch to the free lists.
+func (sh *shared) recycle(o *Outcome) {
+	if o.pooledRes {
+		if o.Res.Coverage != nil {
+			sh.sets.put(o.Res.Coverage)
+		}
+		sh.traces.put(o.Res.Trace[:0])
+	}
+	if o.pooledGolden {
+		sh.goldens.put(o.Golden[:0])
+	}
+	*o = Outcome{}
+}

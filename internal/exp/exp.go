@@ -86,6 +86,7 @@ type Campaign struct {
 // runCampaign executes gen on dut for the given number of tests.
 func runCampaign(name string, gen core.Generator, dut rtl.DUT, tests, batch int, detect bool) Campaign {
 	f := core.NewFuzzer(gen, dut, core.Options{BatchSize: batch, Detect: detect})
+	defer f.Close()
 	f.RunTests(tests)
 	c := Campaign{
 		Name:     name,

@@ -261,7 +261,15 @@ func (s *ISS) execAMO(inst isa.Inst, e *trace.Entry) (trace.Entry, bool) {
 // Run executes until the program halts (tohost store) or maxSteps
 // instructions have been attempted, returning the commit trace.
 func (s *ISS) Run(maxSteps int) []trace.Entry {
-	entries := make([]trace.Entry, 0, 256)
+	return s.RunAppend(make([]trace.Entry, 0, 256), maxSteps)
+}
+
+// RunAppend is Run with a caller-provided buffer: entries are appended
+// to buf[:0] and the (possibly re-grown) slice is returned. Execution
+// workers that run one golden-model simulation per test reuse the same
+// buffer across tests, keeping the hot loop allocation-free.
+func (s *ISS) RunAppend(buf []trace.Entry, maxSteps int) []trace.Entry {
+	entries := buf[:0]
 	for i := 0; i < maxSteps; i++ {
 		e, ok := s.Step()
 		if !ok {

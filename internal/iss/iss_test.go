@@ -15,7 +15,7 @@ import (
 // completion and returns the ISS and its trace.
 func runBody(t *testing.T, body []uint32) (*ISS, []trace.Entry) {
 	t.Helper()
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	m := mem.Platform()
 	m.Load(img)
 	s := New(m, img.Entry)
@@ -50,7 +50,7 @@ func TestHarnessRunsToCompletion(t *testing.T) {
 }
 
 func TestHarnessRegisterInit(t *testing.T) {
-	img, layout := prog.Build(prog.Program{Body: []uint32{isa.NOP}})
+	img, layout := prog.MustBuild(prog.Program{Body: []uint32{isa.NOP}})
 	m := mem.Platform()
 	m.Load(img)
 	s := New(m, img.Entry)
@@ -405,7 +405,7 @@ func TestSelfModifyingCodeGoldenModel(t *testing.T) {
 		isa.Enc(isa.OpSW, 0, isa.A0, isa.T1, 12),   // overwrite pc+12
 		isa.Enc(isa.OpADDI, isa.A1, 0, 0, 1),       // will be patched to 2
 	}
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	m := mem.Platform()
 	m.Load(img)
 	m.WriteUint(mem.DataBase+0x2000, uint64(patch), 4) // s0 points here
@@ -454,7 +454,7 @@ func TestRandomALUMatchesSemantics(t *testing.T) {
 			isa.Enc(isa.OpLD, isa.A1, isa.S0, 0, 8),
 			isa.Enc(op, isa.A2, isa.A0, isa.A1, 0),
 		}
-		img, layout := prog.Build(prog.Program{Body: body})
+		img, layout := prog.MustBuild(prog.Program{Body: body})
 		m := mem.Platform()
 		m.Load(img)
 		m.WriteUint(mem.DataBase+0x2000, aRaw, 8)
@@ -473,7 +473,7 @@ func TestRandomALUMatchesSemantics(t *testing.T) {
 func TestRunBudgetTerminatesWildPrograms(t *testing.T) {
 	// An infinite loop must stop at the step budget.
 	body := []uint32{isa.Enc(isa.OpJAL, 0, 0, 0, 0)}
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	m := mem.Platform()
 	m.Load(img)
 	s := New(m, img.Entry)

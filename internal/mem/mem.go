@@ -96,6 +96,18 @@ func (m *Memory) WriteUint(addr uint64, v uint64, size int) {
 // ReadWord reads a 32-bit instruction word.
 func (m *Memory) ReadWord(addr uint64) uint32 { return uint32(m.ReadUint(addr, 4)) }
 
+// Reset restores the memory to its freshly-constructed state while
+// keeping the already-allocated pages for reuse. A Reset memory is
+// observationally identical to New with the same ranges (every load of
+// an untouched byte returns 0), so a simulator worker can run one test
+// per Reset+Load cycle without re-allocating its address space — the
+// allocation-free steady state of the batch execution engine.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		clear(p)
+	}
+}
+
 // Segment is one contiguous chunk of an Image.
 type Segment struct {
 	Base uint64
@@ -121,13 +133,20 @@ func (img *Image) AddWords(base uint64, words []uint32) {
 // Load copies every segment of the image into memory. It panics if a
 // segment falls outside the mapped ranges: images are produced by the
 // program builder, so that is a programming error, not a fuzz finding.
+// Segments are copied page-wise (one page lookup per page, memmove per
+// span) — Load runs twice per fuzz test (DUT and golden model), so the
+// naive byte-at-a-time copy was a measurable slice of the hot loop.
 func (m *Memory) Load(img Image) {
 	for _, seg := range img.Segments {
 		if len(seg.Data) > 0 && !m.Mapped(seg.Base, len(seg.Data)) {
 			panic(fmt.Sprintf("mem: segment [%#x, +%d) outside mapped ranges", seg.Base, len(seg.Data)))
 		}
-		for i, b := range seg.Data {
-			m.StoreByte(seg.Base+uint64(i), b)
+		addr, data := seg.Base, seg.Data
+		for len(data) > 0 {
+			p := m.page(addr)
+			n := copy(p[addr&(pageSize-1):], data)
+			data = data[n:]
+			addr += uint64(n)
 		}
 	}
 }

@@ -100,3 +100,25 @@ func TestPageBoundaryStraddle(t *testing.T) {
 		t.Errorf("straddling rw = %#x", got)
 	}
 }
+
+// TestResetRestoresFreshState: after Reset, a memory must be
+// observationally identical to a newly-constructed one — every byte
+// reads zero, mappings unchanged — while reusing its pages.
+func TestResetRestoresFreshState(t *testing.T) {
+	m := Platform()
+	addrs := []uint64{TextBase, TextBase + 0x801, DataBase + 0x1234, Tohost}
+	for _, a := range addrs {
+		m.StoreByte(a, 0xAB)
+	}
+	m.Reset()
+	for _, a := range addrs {
+		if got := m.LoadByte(a); got != 0 {
+			t.Errorf("after Reset, byte at %#x = %#x, want 0", a, got)
+		}
+	}
+	if !m.Mapped(TextBase, 4) || m.Mapped(0, 1) {
+		t.Error("Reset changed the mapped ranges")
+	}
+	// Reset must also be safe on a memory that never allocated a page.
+	New(Range{Base: 0x1000, Size: 0x1000}).Reset()
+}

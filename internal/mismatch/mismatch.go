@@ -220,6 +220,12 @@ func diffKind(d, g trace.Entry) Kind {
 	}
 }
 
+// SkipTest accounts a test that produced no traces to compare (e.g. a
+// program the harness refused to build). It keeps the detector's test
+// count aligned with the campaign's test numbering, so a finding's
+// Test field never exceeds the detector's own reported test total.
+func (d *Detector) SkipTest() { d.Tests++ }
+
 // Analyze compares one test's DUT and golden traces, records every raw
 // divergence up to the point where instruction alignment is lost, and
 // returns them. Once a filtered (false-positive) divergence occurs,

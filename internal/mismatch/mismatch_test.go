@@ -165,7 +165,7 @@ func TestEndToEndFindingDetection(t *testing.T) {
 
 	testID := 0
 	for name, body := range bodies {
-		img, _ := prog.Build(prog.Program{Body: body})
+		img, _ := prog.MustBuild(prog.Program{Body: body})
 		if name == "bug1" {
 			var seg mem.Image
 			seg.AddWords(mem.DataBase+0x2000, []uint32{isa.Enc(isa.OpADDI, isa.A1, 0, 0, 2)})

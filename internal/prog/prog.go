@@ -7,6 +7,9 @@
 package prog
 
 import (
+	"fmt"
+	"sync"
+
 	"chatfuzz/internal/isa"
 	"chatfuzz/internal/mem"
 )
@@ -67,10 +70,10 @@ func emitLA(rd isa.Reg, pc, target uint64) []uint32 {
 // corner values, and code pointers for wild control flow.
 func InitialRegs(layout Layout) [32]uint64 {
 	var v [32]uint64
-	v[isa.RA] = layout.BodyBase          // jalr ra re-enters the body
-	v[isa.SP] = mem.DataBase + 0x10000   // stack pointer
-	v[isa.GP] = mem.DataBase + 0x800     // global pointer (±2 KiB stays mapped)
-	v[isa.TP] = 0x0010_0000              // unmapped: loads via tp fault
+	v[isa.RA] = layout.BodyBase        // jalr ra re-enters the body
+	v[isa.SP] = mem.DataBase + 0x10000 // stack pointer
+	v[isa.GP] = mem.DataBase + 0x800   // global pointer (±2 KiB stays mapped)
+	v[isa.TP] = 0x0010_0000            // unmapped: loads via tp fault
 	v[isa.T0] = 1
 	v[isa.T1] = 2
 	v[isa.T2] = 4
@@ -79,8 +82,8 @@ func InitialRegs(layout Layout) [32]uint64 {
 	v[isa.A0] = mem.DataBase
 	v[isa.A1] = mem.DataBase + 8
 	v[isa.A2] = mem.DataBase + 0x100
-	v[isa.A3] = ^uint64(0)               // -1
-	v[isa.A4] = 1 << 63                  // INT64_MIN (div overflow corner)
+	v[isa.A3] = ^uint64(0) // -1
+	v[isa.A4] = 1 << 63    // INT64_MIN (div overflow corner)
 	v[isa.A5] = 5
 	v[isa.A6] = 0x55AA
 	v[isa.A7] = mem.DataBase + 0x3000
@@ -108,7 +111,98 @@ func InitialRegs(layout Layout) [32]uint64 {
 //	                fetch access faults bail out to the epilogue)
 //	TextBase+0x800: body, immediately followed by the epilogue
 //	                (store 1 to tohost; loop)
-func Build(p Program) (mem.Image, Layout) {
+//
+// Build fails when the body does not fit the harness text region
+// (len(Body) > MaxBodyInstructions): loading such an image would place
+// the epilogue outside mapped memory. Fuzzers must not discard the
+// error — an unbuildable program has to be scored as invalid, not run
+// as an empty image that pollutes coverage and reward.
+func Build(p Program) (mem.Image, Layout, error) {
+	if len(p.Body) > MaxBodyInstructions {
+		return mem.Image{}, Layout{}, fmt.Errorf(
+			"prog: body of %d instructions exceeds the %d-instruction harness limit",
+			len(p.Body), MaxBodyInstructions)
+	}
+	img, layout := build(p)
+	return img, layout, nil
+}
+
+// MustBuild is Build for programs known to fit the harness (tests,
+// examples, corpus-derived bodies); it panics on a build error.
+func MustBuild(p Program) (mem.Image, Layout) {
+	img, layout, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return img, layout
+}
+
+// The init and handler sections depend only on the (fixed) harness
+// layout, not on the fuzzed body, so they are assembled exactly once
+// and shared read-only across every built image. Before this cache the
+// per-register emitLI expansion dominated the fuzzing loop's
+// allocation profile (>90 % of allocated objects): Build runs once per
+// generated test, and only the body+epilogue section actually varies.
+var (
+	harnessOnce    sync.Once
+	harnessInit    []uint32
+	harnessHandler []uint32
+)
+
+func harnessSections() ([]uint32, []uint32) {
+	harnessOnce.Do(func() {
+		layout := Layout{
+			InitBase:    mem.TextBase,
+			HandlerBase: mem.TextBase + handlerOff,
+			BodyBase:    mem.TextBase + bodyOff,
+		}
+
+		// --- Trap handler (riscv-tests style: any unexpected trap ends
+		// the test, reporting ((cause+1)<<1)|1 through tohost; clobbers
+		// t5/t6 only) ---
+		// csrr t6, mcause; addi t6, t6, 1; slli t6, t6, 1; ori t6, t6, 1
+		// la t5, tohost; sd t6, 0(t5); j .
+		handler := []uint32{
+			isa.EncCSR(isa.OpCSRRS, isa.T6, 0, isa.CSRMCause),
+			isa.Enc(isa.OpADDI, isa.T6, isa.T6, 0, 1),
+			isa.Enc(isa.OpSLLI, isa.T6, isa.T6, 0, 1),
+			isa.Enc(isa.OpORI, isa.T6, isa.T6, 0, 1),
+		}
+		laPC := layout.HandlerBase + uint64(4*len(handler))
+		handler = append(handler, emitLA(isa.T5, laPC, mem.Tohost)...)
+		handler = append(handler,
+			isa.Enc(isa.OpSD, 0, isa.T5, isa.T6, 0),
+			isa.Enc(isa.OpJAL, 0, 0, 0, 0), // j . (in case tohost is ignored)
+		)
+
+		// --- Init ---
+		var initCode []uint32
+		emit := func(ws ...uint32) { initCode = append(initCode, ws...) }
+		// mtvec <- handler
+		emit(emitLA(isa.T0, layout.InitBase+uint64(4*len(initCode)), layout.HandlerBase)...)
+		emit(isa.EncCSR(isa.OpCSRRW, 0, isa.T0, isa.CSRMTVec))
+		// Register init, x1..x31 (t0 last since it was the scratch).
+		vals := InitialRegs(layout)
+		for r := isa.Reg(1); r < 32; r++ {
+			if r == isa.T0 {
+				continue
+			}
+			emit(emitLI(r, vals[r])...)
+		}
+		emit(emitLI(isa.T0, vals[isa.T0])...)
+		// Jump to body.
+		jalPC := layout.InitBase + uint64(4*len(initCode))
+		emit(isa.Enc(isa.OpJAL, 0, 0, 0, int64(layout.BodyBase-jalPC)))
+
+		if len(initCode)*4 > handlerOff {
+			panic("prog: init code overflows its slot")
+		}
+		harnessInit, harnessHandler = initCode, handler
+	})
+	return harnessInit, harnessHandler
+}
+
+func build(p Program) (mem.Image, Layout) {
 	layout := Layout{
 		InitBase:    mem.TextBase,
 		HandlerBase: mem.TextBase + handlerOff,
@@ -116,48 +210,9 @@ func Build(p Program) (mem.Image, Layout) {
 	}
 	layout.Epilogue = layout.BodyBase + uint64(4*len(p.Body))
 
-	// --- Trap handler (riscv-tests style: any unexpected trap ends
-	// the test, reporting ((cause+1)<<1)|1 through tohost; clobbers
-	// t5/t6 only) ---
-	// csrr t6, mcause; addi t6, t6, 1; slli t6, t6, 1; ori t6, t6, 1
-	// la t5, tohost; sd t6, 0(t5); j .
-	handler := []uint32{
-		isa.EncCSR(isa.OpCSRRS, isa.T6, 0, isa.CSRMCause),
-		isa.Enc(isa.OpADDI, isa.T6, isa.T6, 0, 1),
-		isa.Enc(isa.OpSLLI, isa.T6, isa.T6, 0, 1),
-		isa.Enc(isa.OpORI, isa.T6, isa.T6, 0, 1),
-	}
-	laPC := layout.HandlerBase + uint64(4*len(handler))
-	handler = append(handler, emitLA(isa.T5, laPC, mem.Tohost)...)
-	handler = append(handler,
-		isa.Enc(isa.OpSD, 0, isa.T5, isa.T6, 0),
-		isa.Enc(isa.OpJAL, 0, 0, 0, 0), // j . (in case tohost is ignored)
-	)
+	initCode, handler := harnessSections()
 
-	// --- Init ---
-	var initCode []uint32
-	emit := func(ws ...uint32) { initCode = append(initCode, ws...) }
-	// mtvec <- handler
-	emit(emitLA(isa.T0, layout.InitBase+uint64(4*len(initCode)), layout.HandlerBase)...)
-	emit(isa.EncCSR(isa.OpCSRRW, 0, isa.T0, isa.CSRMTVec))
-	// Register init, x1..x31 (t0 last since it was the scratch).
-	vals := InitialRegs(layout)
-	for r := isa.Reg(1); r < 32; r++ {
-		if r == isa.T0 {
-			continue
-		}
-		emit(emitLI(r, vals[r])...)
-	}
-	emit(emitLI(isa.T0, vals[isa.T0])...)
-	// Jump to body.
-	jalPC := layout.InitBase + uint64(4*len(initCode))
-	emit(isa.Enc(isa.OpJAL, 0, 0, 0, int64(layout.BodyBase-jalPC)))
-
-	if len(initCode)*4 > handlerOff {
-		panic("prog: init code overflows its slot")
-	}
-
-	// --- Body + epilogue ---
+	// --- Body + epilogue (the only per-program section) ---
 	text := make([]uint32, 0, len(p.Body)+8)
 	text = append(text, p.Body...)
 	epiPC := layout.Epilogue

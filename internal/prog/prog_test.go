@@ -10,7 +10,7 @@ import (
 )
 
 func TestBuildLayout(t *testing.T) {
-	img, layout := Build(Program{Body: []uint32{isa.NOP, isa.NOP}})
+	img, layout := MustBuild(Program{Body: []uint32{isa.NOP, isa.NOP}})
 	if img.Entry != layout.InitBase || layout.InitBase != mem.TextBase {
 		t.Errorf("entry %#x, init %#x", img.Entry, layout.InitBase)
 	}
@@ -28,7 +28,7 @@ func TestBuildLayout(t *testing.T) {
 // TestHarnessInstructionsAllValid: every word the harness emits must
 // decode (the init/handler/epilogue run on both simulators).
 func TestHarnessInstructionsAllValid(t *testing.T) {
-	img, _ := Build(Program{Body: []uint32{isa.NOP}})
+	img, _ := MustBuild(Program{Body: []uint32{isa.NOP}})
 	for _, seg := range img.Segments {
 		for i := 0; i+4 <= len(seg.Data); i += 4 {
 			w := uint32(seg.Data[i]) | uint32(seg.Data[i+1])<<8 |
@@ -74,7 +74,7 @@ func TestEmitLIProperty(t *testing.T) {
 }
 
 func TestInitialRegsRoles(t *testing.T) {
-	_, layout := Build(Program{})
+	_, layout := MustBuild(Program{})
 	regs := InitialRegs(layout)
 	if regs[0] != 0 {
 		t.Error("x0 must be zero")
@@ -119,10 +119,28 @@ func TestBuildRejectsNothing(t *testing.T) {
 	for i := range body {
 		body[i] = isa.NOP
 	}
-	img, layout := Build(Program{Body: body})
+	img, layout := MustBuild(Program{Body: body})
 	if layout.Epilogue != layout.BodyBase+uint64(4*len(body)) {
 		t.Error("epilogue misplaced")
 	}
 	m := mem.Platform()
 	m.Load(img) // must not panic
+}
+
+// TestBuildRejectsOversizedBody: a body past the harness limit must
+// fail to build (loading it would place the epilogue outside mapped
+// text), never be truncated or run as an empty image.
+func TestBuildRejectsOversizedBody(t *testing.T) {
+	if _, _, err := Build(Program{Body: make([]uint32, MaxBodyInstructions)}); err != nil {
+		t.Errorf("body at the limit failed to build: %v", err)
+	}
+	if _, _, err := Build(Program{Body: make([]uint32, MaxBodyInstructions+1)}); err == nil {
+		t.Error("oversized body built without error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on an oversized body")
+		}
+	}()
+	MustBuild(Program{Body: make([]uint32, MaxBodyInstructions+1)})
 }

@@ -236,6 +236,19 @@ type run struct {
 	amoRdVal uint64
 }
 
+// cacheCfgI and cacheCfgD size the L1 caches (shared by Run and the
+// reusable runner so both paths model the identical core).
+var (
+	cacheCfgI = uarch.CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}
+	cacheCfgD = uarch.CacheConfig{Sets: 64, Ways: 8, LineBytes: 64}
+)
+
+const (
+	bhtEntries = 512
+	btbEntries = 64
+	rasDepth   = 8
+)
+
 // Run implements rtl.DUT.
 func (b *Boom) Run(img mem.Image, maxInsts int) rtl.Result {
 	m := mem.Platform()
@@ -246,13 +259,18 @@ func (b *Boom) Run(img mem.Image, maxInsts int) rtl.Result {
 		pc:  img.Entry,
 		prv: isa.PrivM,
 		csr: hart.CSRFile{MPP: isa.PrivU},
-		ic:  uarch.NewICache(uarch.CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}),
-		dc:  uarch.NewTimingCache(uarch.CacheConfig{Sets: 64, Ways: 8, LineBytes: 64}),
-		bht: uarch.NewBHT(512),
-		btb: uarch.NewBTB(64),
-		ras: uarch.NewRAS(8),
+		ic:  uarch.NewICache(cacheCfgI),
+		dc:  uarch.NewTimingCache(cacheCfgD),
+		bht: uarch.NewBHT(bhtEntries),
+		btb: uarch.NewBTB(btbEntries),
+		ras: uarch.NewRAS(rasDepth),
 		set: b.space.NewSet(),
 	}
+	return st.exec(maxInsts)
+}
+
+// exec drives the timing model to completion and packages the result.
+func (st *run) exec(maxInsts int) rtl.Result {
 	for i := 0; i < maxInsts && !st.halted; i++ {
 		st.step()
 	}
@@ -265,6 +283,62 @@ func (b *Boom) Run(img mem.Image, maxInsts int) rtl.Result {
 		ExitCode: st.exitCode,
 		Regs:     st.x,
 	}
+}
+
+// runner is a reusable execution context: platform memory, the cache
+// and predictor blocks, and the ROB/store-queue backing arrays are
+// allocated once and reset per run.
+type runner struct {
+	b   *Boom
+	m   *mem.Memory
+	ic  *uarch.ICache
+	dc  *uarch.TimingCache
+	bht *uarch.BHT
+	btb *uarch.BTB
+	ras *uarch.RAS
+	st  run
+}
+
+// NewRunner implements rtl.ReusableDUT.
+func (b *Boom) NewRunner() rtl.Runner {
+	return &runner{
+		b:   b,
+		m:   mem.Platform(),
+		ic:  uarch.NewICache(cacheCfgI),
+		dc:  uarch.NewTimingCache(cacheCfgD),
+		bht: uarch.NewBHT(bhtEntries),
+		btb: uarch.NewBTB(btbEntries),
+		ras: uarch.NewRAS(rasDepth),
+	}
+}
+
+// RunScratch implements rtl.Runner. Behaviour is bit-identical to Run:
+// the reset scratch is observationally a fresh core.
+func (w *runner) RunScratch(img mem.Image, maxInsts int, set *cov.Set, tr []trace.Entry) rtl.Result {
+	w.m.Reset()
+	w.m.Load(img)
+	w.ic.Reset()
+	w.dc.Reset()
+	w.bht.Reset()
+	w.btb.Reset()
+	w.ras.Reset()
+	w.st = run{
+		b:   w.b,
+		m:   w.m,
+		pc:  img.Entry,
+		prv: isa.PrivM,
+		csr: hart.CSRFile{MPP: isa.PrivU},
+		ic:  w.ic,
+		dc:  w.dc,
+		bht: w.bht,
+		btb: w.btb,
+		ras: w.ras,
+		set: set,
+		tr:  tr[:0],
+		rob: w.st.rob[:0],
+		sq:  w.st.sq[:0],
+	}
+	return w.st.exec(maxInsts)
 }
 
 func (st *run) charge(c uint64) { st.cycles += c; st.csr.Cycle += c }

@@ -13,7 +13,7 @@ import (
 )
 
 func runBoth(body []uint32) (rtl.Result, []trace.Entry, *iss.ISS) {
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	budget := prog.InstructionBudget(len(body))
 
 	b := New()
@@ -166,7 +166,7 @@ func TestBoomOoOConditionsReachable(t *testing.T) {
 			isa.Enc(isa.OpLD, isa.A2, isa.S0, 0, 0), // forwarding candidate
 		)
 	}
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	res := b.Run(img, prog.InstructionBudget(len(body)))
 	for _, name := range []string{
 		"rename.src1_busy", "issue.wakeup_tag_match", "lsu.store_to_load_forward",
@@ -187,7 +187,7 @@ func TestBoomCoverageCeilingBelow100(t *testing.T) {
 	if !ok {
 		t.Fatal("dead point missing")
 	}
-	img, _ := prog.Build(prog.Program{Body: wildBody(rand.New(rand.NewSource(5)), 100)})
+	img, _ := prog.MustBuild(prog.Program{Body: wildBody(rand.New(rand.NewSource(5)), 100)})
 	res := b.Run(img, 8000)
 	if res.Coverage.Covered(id, true) || res.Coverage.Covered(id, false) {
 		t.Error("dead points must stay unevaluated")
@@ -196,11 +196,52 @@ func TestBoomCoverageCeilingBelow100(t *testing.T) {
 
 func TestBoomDeterminism(t *testing.T) {
 	body := wildBody(rand.New(rand.NewSource(7)), 80)
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	b := New()
 	r1 := b.Run(img, 6000)
 	r2 := b.Run(img, 6000)
 	if r1.Cycles != r2.Cycles || r1.Coverage.Count() != r2.Coverage.Count() {
 		t.Error("BOOM runs are not deterministic")
+	}
+}
+
+// TestRunnerMatchesRun: the reusable runner must be bit-identical to
+// the allocating Run across consecutive runs, including after wild
+// bodies that leave state in caches, predictors and the ROB/store
+// queue that Reset must clear.
+func TestRunnerMatchesRun(t *testing.T) {
+	b := New()
+	rd, ok := interface{}(b).(rtl.ReusableDUT)
+	if !ok {
+		t.Fatal("Boom does not implement rtl.ReusableDUT")
+	}
+	runner := rd.NewRunner()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 6; i++ {
+		body := wildBody(rng, 40)
+		img, _ := prog.MustBuild(prog.Program{Body: body})
+		budget := prog.InstructionBudget(len(body))
+
+		want := b.Run(img, budget)
+		got := runner.RunScratch(img, budget, b.Space().NewSet(), nil)
+
+		if got.Cycles != want.Cycles || got.Halted != want.Halted ||
+			got.ExitCode != want.ExitCode || got.Regs != want.Regs {
+			t.Fatalf("run %d: runner result diverged from Run", i)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Fatalf("run %d: trace length %d vs %d", i, len(got.Trace), len(want.Trace))
+		}
+		for j := range got.Trace {
+			if got.Trace[j] != want.Trace[j] {
+				t.Fatalf("run %d: trace entry %d diverged", i, j)
+			}
+		}
+		gs, ws := got.Coverage.Snapshot(), want.Coverage.Snapshot()
+		for j := range gs {
+			if gs[j] != ws[j] {
+				t.Fatalf("run %d: coverage word %d diverged", i, j)
+			}
+		}
 	}
 }

@@ -316,6 +316,19 @@ type run struct {
 	amoRdVal uint64 // rd result of the in-flight AMO
 }
 
+// cacheCfgI and cacheCfgD size the L1 caches (shared by Run and the
+// reusable runner so both paths model the identical core).
+var (
+	cacheCfgI = uarch.CacheConfig{Sets: 64, Ways: 2, LineBytes: 64}
+	cacheCfgD = uarch.CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}
+)
+
+const (
+	bhtEntries = 256
+	btbEntries = 32
+	rasDepth   = 4
+)
+
 // Run implements rtl.DUT.
 func (r *Rocket) Run(img mem.Image, maxInsts int) rtl.Result {
 	m := mem.Platform()
@@ -326,13 +339,18 @@ func (r *Rocket) Run(img mem.Image, maxInsts int) rtl.Result {
 		pc:  img.Entry,
 		prv: isa.PrivM,
 		csr: hart.CSRFile{MPP: isa.PrivU},
-		ic:  uarch.NewICache(uarch.CacheConfig{Sets: 64, Ways: 2, LineBytes: 64}),
-		dc:  uarch.NewTimingCache(uarch.CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}),
-		bht: uarch.NewBHT(256),
-		btb: uarch.NewBTB(32),
-		ras: uarch.NewRAS(4),
+		ic:  uarch.NewICache(cacheCfgI),
+		dc:  uarch.NewTimingCache(cacheCfgD),
+		bht: uarch.NewBHT(bhtEntries),
+		btb: uarch.NewBTB(btbEntries),
+		ras: uarch.NewRAS(rasDepth),
 		set: r.space.NewSet(),
 	}
+	return st.exec(maxInsts)
+}
+
+// exec drives the pipeline model to completion and packages the result.
+func (st *run) exec(maxInsts int) rtl.Result {
 	for i := 0; i < maxInsts && !st.halted; i++ {
 		st.step()
 	}
@@ -345,6 +363,61 @@ func (r *Rocket) Run(img mem.Image, maxInsts int) rtl.Result {
 		ExitCode: st.exitCode,
 		Regs:     st.x,
 	}
+}
+
+// runner is a reusable execution context: platform memory and the
+// microarchitectural blocks are allocated once and reset per run, so a
+// simulation worker's steady state allocates nothing but what escapes
+// through the Result (which RunScratch takes from the caller).
+type runner struct {
+	r   *Rocket
+	m   *mem.Memory
+	ic  *uarch.ICache
+	dc  *uarch.TimingCache
+	bht *uarch.BHT
+	btb *uarch.BTB
+	ras *uarch.RAS
+	st  run
+}
+
+// NewRunner implements rtl.ReusableDUT.
+func (r *Rocket) NewRunner() rtl.Runner {
+	return &runner{
+		r:   r,
+		m:   mem.Platform(),
+		ic:  uarch.NewICache(cacheCfgI),
+		dc:  uarch.NewTimingCache(cacheCfgD),
+		bht: uarch.NewBHT(bhtEntries),
+		btb: uarch.NewBTB(btbEntries),
+		ras: uarch.NewRAS(rasDepth),
+	}
+}
+
+// RunScratch implements rtl.Runner. Behaviour is bit-identical to Run:
+// the reset scratch is observationally a fresh core.
+func (w *runner) RunScratch(img mem.Image, maxInsts int, set *cov.Set, tr []trace.Entry) rtl.Result {
+	w.m.Reset()
+	w.m.Load(img)
+	w.ic.Reset()
+	w.dc.Reset()
+	w.bht.Reset()
+	w.btb.Reset()
+	w.ras.Reset()
+	w.st = run{
+		r:   w.r,
+		m:   w.m,
+		pc:  img.Entry,
+		prv: isa.PrivM,
+		csr: hart.CSRFile{MPP: isa.PrivU},
+		ic:  w.ic,
+		dc:  w.dc,
+		bht: w.bht,
+		btb: w.btb,
+		ras: w.ras,
+		set: set,
+		tr:  tr[:0],
+	}
+	return w.st.exec(maxInsts)
 }
 
 func (st *run) charge(c uint64) { st.cycles += c; st.csr.Cycle += c }

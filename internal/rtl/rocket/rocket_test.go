@@ -15,7 +15,7 @@ import (
 // runBoth executes the same body on the Rocket model and the golden
 // ISS, returning both traces and results.
 func runBoth(body []uint32) (rtl.Result, []trace.Entry, *iss.ISS) {
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	budget := prog.InstructionBudget(len(body))
 
 	r := New()
@@ -135,7 +135,7 @@ func TestBug1SelfModifyWithoutFenceIDiverges(t *testing.T) {
 		t.Fatal("test bug")
 	}
 
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	budget := prog.InstructionBudget(len(body))
 
 	r := New()
@@ -179,7 +179,7 @@ func TestBug1FenceIRestoresCoherence(t *testing.T) {
 	}
 	patch := isa.Enc(isa.OpADDI, isa.A1, 0, 0, 2)
 
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	var seg mem.Image
 	seg.AddWords(mem.DataBase+0x2000, []uint32{patch})
 	img.Segments = append(img.Segments, seg.Segments...)
@@ -330,7 +330,7 @@ func TestCoverageRespondsToBehaviouralDiversity(t *testing.T) {
 	for i := range nops {
 		nops[i] = isa.NOP
 	}
-	imgN, _ := prog.Build(prog.Program{Body: nops})
+	imgN, _ := prog.MustBuild(prog.Program{Body: nops})
 	covN := r.Run(imgN, 4000).Coverage.Count()
 
 	// A behaviourally rich body: mul/div, amo, branches, traps, csr.
@@ -347,7 +347,7 @@ func TestCoverageRespondsToBehaviouralDiversity(t *testing.T) {
 		isa.EncCSR(isa.OpCSRRS, isa.A1, 0, isa.CSRMScratch),
 		isa.Enc(isa.OpBNE, 0, isa.A1, isa.A2, -4),
 	}
-	imgR, _ := prog.Build(prog.Program{Body: rich})
+	imgR, _ := prog.MustBuild(prog.Program{Body: rich})
 	rRich := r.Run(imgR, 4000)
 	covR := rRich.Coverage.Count()
 
@@ -359,7 +359,7 @@ func TestCoverageRespondsToBehaviouralDiversity(t *testing.T) {
 func TestOpSeenBinsLazyEvaluation(t *testing.T) {
 	r := New()
 	body := []uint32{isa.Enc(isa.OpADD, isa.A0, isa.A1, isa.A2, 0)}
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	res := r.Run(img, 4000)
 
 	addID, _ := r.Space().Lookup("decode.op.add")
@@ -377,7 +377,7 @@ func TestOpSeenBinsLazyEvaluation(t *testing.T) {
 
 func TestTieoffPointsStayHalfCovered(t *testing.T) {
 	r := New()
-	img, _ := prog.Build(prog.Program{Body: cleanBody(rand.New(rand.NewSource(1)), 50)})
+	img, _ := prog.MustBuild(prog.Program{Body: cleanBody(rand.New(rand.NewSource(1)), 50)})
 	res := r.Run(img, 4000)
 	id, ok := r.Space().Lookup("tieoff.interrupt.taken")
 	if !ok {
@@ -400,7 +400,7 @@ func TestTieoffPointsStayHalfCovered(t *testing.T) {
 
 func TestRocketDeterminism(t *testing.T) {
 	body := cleanBody(rand.New(rand.NewSource(3)), 80)
-	img, _ := prog.Build(prog.Program{Body: body})
+	img, _ := prog.MustBuild(prog.Program{Body: body})
 	r := New()
 	res1 := r.Run(img, 4000)
 	res2 := r.Run(img, 4000)
@@ -425,11 +425,53 @@ func TestMicroarchEventsCostCycles(t *testing.T) {
 		divs[i] = isa.Enc(isa.OpDIV, isa.A0, isa.A6, isa.A5, 0)
 		nops[i] = isa.NOP
 	}
-	imgD, _ := prog.Build(prog.Program{Body: divs})
-	imgN, _ := prog.Build(prog.Program{Body: nops})
+	imgD, _ := prog.MustBuild(prog.Program{Body: divs})
+	imgN, _ := prog.MustBuild(prog.Program{Body: nops})
 	cd := r.Run(imgD, 4000).Cycles
 	cn := r.Run(imgN, 4000).Cycles
 	if cd <= cn {
 		t.Errorf("div cycles %d should exceed nop cycles %d", cd, cn)
+	}
+}
+
+// TestRunnerMatchesRun: the reusable runner must be bit-identical to
+// the allocating Run across consecutive runs (its whole contract: a
+// reset scratch is observationally a fresh core). Programs include
+// wild bodies so caches, predictors and the RAS all carry state that
+// Reset must clear.
+func TestRunnerMatchesRun(t *testing.T) {
+	r := New()
+	rd, ok := interface{}(r).(rtl.ReusableDUT)
+	if !ok {
+		t.Fatal("Rocket does not implement rtl.ReusableDUT")
+	}
+	runner := rd.NewRunner()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 6; i++ {
+		body := cleanBody(rng, 40)
+		img, _ := prog.MustBuild(prog.Program{Body: body})
+		budget := prog.InstructionBudget(len(body))
+
+		want := r.Run(img, budget)
+		got := runner.RunScratch(img, budget, r.Space().NewSet(), nil)
+
+		if got.Cycles != want.Cycles || got.Halted != want.Halted ||
+			got.ExitCode != want.ExitCode || got.Regs != want.Regs {
+			t.Fatalf("run %d: runner result diverged from Run", i)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Fatalf("run %d: trace length %d vs %d", i, len(got.Trace), len(want.Trace))
+		}
+		for j := range got.Trace {
+			if got.Trace[j] != want.Trace[j] {
+				t.Fatalf("run %d: trace entry %d diverged", i, j)
+			}
+		}
+		gs, ws := got.Coverage.Snapshot(), want.Coverage.Snapshot()
+		for j := range gs {
+			if gs[j] != ws[j] {
+				t.Fatalf("run %d: coverage word %d diverged", i, j)
+			}
+		}
 	}
 }

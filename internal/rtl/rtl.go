@@ -39,3 +39,28 @@ type DUT interface {
 	// maxInsts instructions have been attempted.
 	Run(img mem.Image, maxInsts int) Result
 }
+
+// Runner is a reusable execution context over one DUT, owned by a
+// single simulation worker. Unlike DUT.Run — which allocates platform
+// memory, microarchitectural state and a coverage set per call — a
+// Runner keeps that scratch alive across calls and resets it, so the
+// steady-state fuzzing loop is allocation-free. A Runner is not
+// goroutine-safe; concurrent workers each hold their own.
+type Runner interface {
+	// RunScratch simulates exactly like DUT.Run but records coverage
+	// into set (which must be empty and belong to the DUT's Space) and
+	// appends the commit trace to tr[:0]. The returned Result references
+	// set and the appended trace, so both stay owned by the caller and
+	// can be pooled once the result has been consumed.
+	RunScratch(img mem.Image, maxInsts int, set *cov.Set, tr []trace.Entry) Result
+}
+
+// ReusableDUT is implemented by designs that can vend Runners. The
+// batch execution engine upgrades to RunScratch when the DUT supports
+// it and falls back to plain Run otherwise, so the capability is
+// strictly an optimisation: results are bit-identical either way.
+type ReusableDUT interface {
+	DUT
+	// NewRunner returns a fresh worker-private execution context.
+	NewRunner() Runner
+}

@@ -51,6 +51,20 @@ func NewTimingCache(cfg CacheConfig) *TimingCache {
 	return t
 }
 
+// Reset invalidates every line and rewinds the LRU clock, restoring
+// the freshly-constructed state without re-allocating the arrays.
+func (t *TimingCache) Reset() {
+	for s := range t.valid {
+		for w := range t.valid[s] {
+			t.valid[s][w] = false
+			t.dirty[s][w] = false
+			t.tags[s][w] = 0
+			t.lru[s][w] = 0
+		}
+	}
+	t.tick = 0
+}
+
 // AccessResult describes one cache access.
 type AccessResult struct {
 	Hit          bool
@@ -181,6 +195,20 @@ func (c *ICache) Flush() {
 	}
 }
 
+// Reset restores the freshly-constructed state without re-allocating:
+// every line invalid, LRU clock rewound. Stale line data is kept — an
+// invalid line is refilled before it is ever read.
+func (c *ICache) Reset() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+			c.tags[s][w] = 0
+			c.lru[s][w] = 0
+		}
+	}
+	c.tick = 0
+}
+
 // BHT is a table of 2-bit saturating counters.
 type BHT struct {
 	counters []uint8
@@ -188,6 +216,9 @@ type BHT struct {
 
 // NewBHT returns a BHT with n entries (power of two), weakly not-taken.
 func NewBHT(n int) *BHT { return &BHT{counters: make([]uint8, n)} }
+
+// Reset returns every counter to weakly not-taken.
+func (b *BHT) Reset() { clear(b.counters) }
 
 func (b *BHT) index(pc uint64) int { return int(pc>>2) & (len(b.counters) - 1) }
 
@@ -218,6 +249,15 @@ func NewBTB(n int) *BTB {
 	return &BTB{tags: make([]uint64, n), targets: make([]uint64, n), valid: make([]bool, n)}
 }
 
+// Reset invalidates every entry.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+		b.tags[i] = 0
+		b.targets[i] = 0
+	}
+}
+
 func (b *BTB) index(pc uint64) int { return int(pc>>2) & (len(b.tags) - 1) }
 
 // Lookup returns the predicted target for pc, if any.
@@ -243,6 +283,9 @@ type RAS struct {
 
 // NewRAS returns a RAS with the given depth.
 func NewRAS(depth int) *RAS { return &RAS{depth: depth} }
+
+// Reset empties the stack, keeping its backing array.
+func (r *RAS) Reset() { r.stack = r.stack[:0] }
 
 // Push records a return address; reports whether the stack overflowed
 // (oldest entry dropped).
