@@ -300,6 +300,87 @@ func BenchmarkCampaignOrchestrator(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineLearning is the fleet-learning acceptance benchmark.
+// It runs the same 2-shard detecting fleet twice at an equal test
+// budget — once with the online-learning LLM arm (per-shard PPO
+// replicas, deterministic barrier weight averaging) and once with the
+// frozen LLM arm — and reports both merged coverages at equal virtual
+// time plus the learning delta. It also checkpoints a learning fleet
+// mid-campaign and asserts (not merely reports) that the resumed run
+// reproduces the uninterrupted trajectory, detector report and merged
+// model weights bit-for-bit.
+func BenchmarkOnlineLearning(b *testing.B) {
+	p := benchPipeline(b)
+	const tests = 384
+	cfg := campaign.Config{Shards: 2, BatchSize: 16, Seed: 1, Detect: true}
+	arms := func(learn bool) []campaign.ArmSpec {
+		llm := campaign.LLMArm(p)
+		if learn {
+			llm = campaign.LearningLLMArm(p)
+		}
+		return []campaign.ArmSpec{llm, campaign.TheHuzzArm(benchBody)}
+	}
+	newFleet := func(learn bool) *campaign.Orchestrator {
+		o, err := campaign.New(cfg, func() rtl.DUT { return rocket.New() }, arms(learn)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return o
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		learning := newFleet(true)
+		learning.RunTests(tests)
+		frozen := newFleet(false)
+		frozen.RunTests(tests)
+		h := learning.Hours()
+		if fh := frozen.Hours(); fh < h {
+			h = fh
+		}
+		lc, fc := learning.CoverageAt(h), frozen.CoverageAt(h)
+		b.ReportMetric(lc, "learn_%")
+		b.ReportMetric(fc, "frozen_%")
+		b.ReportMetric(lc-fc, "learn_delta_%")
+		frozen.Close()
+
+		// Checkpoint/resume bit-identity at the half-way barrier.
+		half := newFleet(true)
+		half.RunTests(tests / 2)
+		path := b.TempDir() + "/learn.json"
+		if err := half.CheckpointFile(path); err != nil {
+			b.Fatal(err)
+		}
+		half.Close()
+		resumed, err := campaign.ResumeFile(path, func() rtl.DUT { return rocket.New() }, arms(true)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resumed.RunTests(tests)
+		want, got := learning.Trajectory(), resumed.Trajectory()
+		if len(want) != len(got) {
+			b.Fatalf("resumed trajectory has %d points, want %d", len(got), len(want))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				b.Fatalf("resumed trajectory diverges at round %d: %+v vs %+v", j, got[j], want[j])
+			}
+		}
+		for s := 0; s < cfg.Shards; s++ {
+			if learning.Shard(s).Det.Report() != resumed.Shard(s).Det.Report() {
+				b.Fatalf("shard %d detector report differs after resume", s)
+			}
+		}
+		ww, gw := learning.LearnedWeights("chatfuzz-learn"), resumed.LearnedWeights("chatfuzz-learn")
+		for j := range ww {
+			if ww[j] != gw[j] {
+				b.Fatalf("merged weights differ after resume at scalar %d", j)
+			}
+		}
+		learning.Close()
+		resumed.Close()
+	}
+}
+
 // ---- Component throughput benchmarks ----
 
 // BenchmarkRocketSimulation measures DUT simulation throughput.

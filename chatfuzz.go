@@ -65,6 +65,29 @@
 //	    chatfuzz.CampaignConfig{Shards: 4, Seed: 1},
 //	    []func() chatfuzz.DUT{chatfuzz.NewRocket, chatfuzz.NewBoom},
 //	    chatfuzz.TheHuzzArm(24), chatfuzz.RandInstArm(24))
+//
+// Online fleet learning: LLMArm samples the trained model read-only,
+// but LearningLLMArm keeps the model improving *during* the campaign —
+// the paper's feedback arrow, under sharding. Each shard owns a deep
+// copy of the model; PPO steps it with rewards from incremental fleet
+// coverage, and at every round barrier the per-shard replicas are
+// averaged deterministically (federated-averaging style, fixed shard
+// order) and the merge is redistributed (internal/fleetlearn).
+// Checkpoints (v3) carry the merged weights and each shard's clustered
+// mismatch-detector state, so a resumed learning campaign replays
+// bit-identically and reports cumulative findings:
+//
+//	o, err := chatfuzz.NewOrchestrator(
+//	    chatfuzz.CampaignConfig{Shards: 4, Seed: 1, Detect: true},
+//	    chatfuzz.NewRocket,
+//	    chatfuzz.LearningLLMArm(p), chatfuzz.TheHuzzArm(24))
+//	o.RunTests(2000)
+//	w := o.LearnedWeights("chatfuzz-learn") // merged policy weights
+//
+// Detection-oriented scheduling: CampaignConfig.MismatchWeight blends
+// a mismatch-rate term into the bandit reward, steering rounds toward
+// generators that surface DUT-vs-golden divergences rather than raw
+// coverage alone.
 package chatfuzz
 
 import (
@@ -210,8 +233,15 @@ func ResumeMixedCampaign(r io.Reader, newDUTs []func() DUT, arms ...ArmSpec) (*O
 	return campaign.ResumeMixed(r, newDUTs, arms...)
 }
 
-// LLMArm schedules a trained pipeline's model as a generator arm.
+// LLMArm schedules a trained pipeline's model as a frozen generator
+// arm (no updates during the campaign).
 func LLMArm(p *Pipeline) ArmSpec { return campaign.LLMArm(p) }
+
+// LearningLLMArm schedules the model as an online-learning arm:
+// per-shard PPO replicas with deterministic weight averaging at every
+// round barrier. Resuming a checkpointed learning fleet requires the
+// same trained pipeline the original run used.
+func LearningLLMArm(p *Pipeline) ArmSpec { return campaign.LearningLLMArm(p) }
 
 // TheHuzzArm schedules the TheHuzz mutation baseline as an arm.
 func TheHuzzArm(bodyInstrs int) ArmSpec { return campaign.TheHuzzArm(bodyInstrs) }

@@ -45,7 +45,11 @@ func campaignMain(args []string) {
 		dutNames   = fs.String("dut", "rocket", "designs under test: comma list of rocket/boom; shards alternate designs")
 		parallel   = fs.Int("parallel", 1, "simulation workers per shard (0 = GOMAXPROCS)")
 		serial     = fs.Bool("serial", false, "run the reference fork-join loop instead of the batch execution engine")
-		llm        = fs.Bool("llm", false, "train a quick pipeline and schedule the LLM arm")
+		llm        = fs.Bool("llm", false, "train a pipeline and schedule the frozen LLM arm")
+		learn      = fs.Bool("learn", false, "train a pipeline and schedule the online-learning LLM arm (per-shard replicas, barrier weight averaging); reports the coverage delta over an identical frozen-LLM fleet")
+		quickPipe  = fs.Bool("quickpipe", false, "train the tiny test-scale pipeline instead of the default one (smoke runs)")
+		mweight    = fs.Float64("mismatch-weight", 0, "bandit reward weight of the mismatch-rate term, 0..1 (enables -detect style steering; requires detection)")
+		detect     = fs.Bool("detect", false, "enable differential testing in every shard")
 		checkpoint = fs.String("checkpoint", "", "checkpoint file to write after the run")
 		resume     = fs.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 	)
@@ -66,6 +70,9 @@ func campaignMain(args []string) {
 	// Fail fast on a bad checkpoint before any expensive work: with
 	// -llm the pipeline training below takes minutes, and discovering
 	// a missing file or mismatched arm set afterwards wastes all of it.
+	if *mweight > 0 && !*detect {
+		log.Fatal("-mismatch-weight requires -detect (the term rewards new non-filtered mismatches)")
+	}
 	if *resume {
 		if *checkpoint == "" {
 			log.Fatal("-resume requires -checkpoint")
@@ -76,10 +83,13 @@ func campaignMain(args []string) {
 		}
 		wantArms := 3
 		if *llm {
-			wantArms = 4
+			wantArms++
+		}
+		if *learn {
+			wantArms++
 		}
 		if len(info.Arms) != wantArms {
-			log.Fatalf("resume: checkpoint has %d arms but these flags build %d (add or drop -llm to match the original run: %v)",
+			log.Fatalf("resume: checkpoint has %d arms but these flags build %d (add or drop -llm/-learn to match the original run: %v)",
 				len(info.Arms), wantArms, info.Arms)
 		}
 	}
@@ -89,13 +99,22 @@ func campaignMain(args []string) {
 		campaign.RandInstArm(*body),
 		campaign.RandFuzzArm(*body),
 	}
-	if *llm {
-		fmt.Println("training quick pipeline for the LLM arm...")
+	var p *core.Pipeline
+	if *llm || *learn {
 		cfg := core.DefaultPipelineConfig()
+		if *quickPipe {
+			cfg = core.TestPipelineConfig()
+		}
+		fmt.Println("training pipeline for the LLM arm(s)...")
 		cfg.Log = os.Stdout
-		p := core.NewPipeline(cfg)
+		p = core.NewPipeline(cfg)
 		p.Run(newDUT())
-		arms = append([]campaign.ArmSpec{campaign.LLMArm(p)}, arms...)
+		if *llm {
+			arms = append([]campaign.ArmSpec{campaign.LLMArm(p)}, arms...)
+		}
+		if *learn {
+			arms = append([]campaign.ArmSpec{campaign.LearningLLMArm(p)}, arms...)
+		}
 	}
 
 	var o *campaign.Orchestrator
@@ -105,7 +124,7 @@ func campaignMain(args []string) {
 		// scheduling flags below would otherwise be silently ignored.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "shards", "batch", "seed", "parallel":
+			case "shards", "batch", "seed", "parallel", "detect", "mismatch-weight":
 				fmt.Printf("warning: -%s is ignored with -resume (the checkpoint's value is used)\n", f.Name)
 			case "serial":
 				fmt.Println("warning: -serial is ignored with -resume (resumed fleets run on the engine path)")
@@ -118,11 +137,13 @@ func campaignMain(args []string) {
 		fmt.Printf("resumed at round %d, %d tests, %.2f%% coverage\n", o.Rounds(), o.Tests(), o.Coverage())
 	} else {
 		o, err = campaign.NewMixed(campaign.Config{
-			Shards:    *shards,
-			BatchSize: *batch,
-			Seed:      *seed,
-			Parallel:  *parallel,
-			Serial:    *serial,
+			Shards:         *shards,
+			BatchSize:      *batch,
+			Seed:           *seed,
+			Parallel:       *parallel,
+			Serial:         *serial,
+			Detect:         *detect,
+			MismatchWeight: *mweight,
 		}, newDUTs, arms...)
 		if err != nil {
 			log.Fatalf("campaign: %v", err)
@@ -132,6 +153,55 @@ func campaignMain(args []string) {
 
 	o.RunTests(*tests)
 	fmt.Print(o.Report())
+	// Use the orchestrator's own config here, not the flags: on -resume
+	// the checkpoint's shard count and detect setting win.
+	if o.Cfg.Detect {
+		total := 0
+		for s := 0; s < o.Cfg.Shards; s++ {
+			d := o.Shard(s).Det
+			if d != nil {
+				total += d.RawCount - d.FilteredRaw
+			}
+		}
+		fmt.Printf("non-filtered raw mismatches across the fleet: %d\n", total)
+	}
+
+	// The -learn headline: the same fleet with the LLM arm frozen, at
+	// the same budget, compared at equal virtual time. Skipped on
+	// resume (the frozen twin would not have lived the same history).
+	if *learn && !*resume {
+		fmt.Println("running the frozen-LLM twin fleet for the learning delta...")
+		frozenArms := make([]campaign.ArmSpec, 0, len(arms))
+		for _, a := range arms {
+			if a.Name != "chatfuzz-learn" {
+				frozenArms = append(frozenArms, a)
+			}
+		}
+		if !*llm {
+			frozenArms = append([]campaign.ArmSpec{campaign.LLMArm(p)}, frozenArms...)
+		}
+		fo, err := campaign.NewMixed(campaign.Config{
+			Shards:         *shards,
+			BatchSize:      *batch,
+			Seed:           *seed,
+			Parallel:       *parallel,
+			Serial:         *serial,
+			Detect:         *detect,
+			MismatchWeight: *mweight,
+		}, newDUTs, frozenArms...)
+		if err != nil {
+			log.Fatalf("frozen twin: %v", err)
+		}
+		fo.RunTests(*tests)
+		h := o.Hours()
+		if fh := fo.Hours(); fh < h {
+			h = fh
+		}
+		lc, fc := o.CoverageAt(h), fo.CoverageAt(h)
+		fmt.Printf("online learning: %.2f%% vs frozen %.2f%% at %.2f virtual h (delta %+.2f)\n",
+			lc, fc, h, lc-fc)
+		fo.Close()
+	}
 
 	if *checkpoint != "" {
 		if err := o.CheckpointFile(*checkpoint); err != nil {

@@ -10,6 +10,7 @@ import (
 	"chatfuzz/internal/baseline/thehuzz"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/cov"
+	"chatfuzz/internal/fleetlearn"
 	"chatfuzz/internal/prog"
 )
 
@@ -44,6 +45,13 @@ type ArmSpec struct {
 	sig string
 
 	build func(binsTotal int) arm
+
+	// newLearner, when non-nil, replaces build: the arm learns online,
+	// backed by a per-shard fleetlearn.Replica. The orchestrator wires
+	// every shard's replica into one fleetlearn.Fleet whose weights are
+	// averaged and redistributed at each round barrier, and checkpoints
+	// the merged weights (checkpoint v3).
+	newLearner func(binsTotal int) (arm, *fleetlearn.Replica)
 }
 
 // TheHuzzArm schedules the TheHuzz mutation baseline as an arm. Its
@@ -82,11 +90,14 @@ func RandFuzzArm(bodyInstrs int) ArmSpec {
 	}
 }
 
-// LLMArm schedules the trained ChatFuzz model as an arm. The pipeline's
-// model is shared read-only across every shard — generation allocates
-// its own sampler per call — so online PPO updates are disabled: with
-// them, concurrent shards would race on the weights and a resumed run
-// could not replay the updates.
+// LLMArm schedules the trained ChatFuzz model as a *frozen* arm: the
+// pipeline's model is shared read-only across every shard — generation
+// allocates its own sampler per call — and no PPO updates run during
+// the campaign. For the paper's full feedback loop under sharding, use
+// LearningLLMArm, which gives each shard a model replica and keeps
+// learning through deterministic barrier averaging; the frozen arm
+// remains the cheaper choice (and the baseline the learning arm is
+// measured against in BenchmarkOnlineLearning).
 func LLMArm(p *core.Pipeline) ArmSpec {
 	m := p.Model.Cfg
 	return ArmSpec{
@@ -97,6 +108,34 @@ func LLMArm(p *core.Pipeline) ArmSpec {
 			a := &llmArm{p: p, bins: binsTotal}
 			a.Reseed(0)
 			return a
+		},
+	}
+}
+
+// LearningLLMArm schedules the ChatFuzz model as an online-learning
+// arm — the paper's "model keeps learning from hardware feedback"
+// under sharding. Each shard owns a deep-copied replica of the trained
+// model; the rollouts behind its generated programs are rewarded with
+// the shard's incremental (fleet-new, when sync is on) coverage and
+// stepped into the replica by PPO, and at every round barrier the
+// orchestrator averages the stepped replicas' weights deterministically
+// and redistributes the merge to the whole fleet (internal/fleetlearn).
+//
+// Checkpoints (v3) carry the merged weights, so resumed campaigns
+// replay bit-identically; the KL reference model is not checkpointed —
+// Resume must be given the same trained pipeline the original run used
+// (the same requirement LLMArm already has for its sampling weights).
+func LearningLLMArm(p *core.Pipeline) ArmSpec {
+	m := p.Model.Cfg
+	return ArmSpec{
+		Name: "chatfuzz-learn",
+		sig: fmt.Sprintf("chatfuzz-learn/ctx=%d,dim=%d,heads=%d,layers=%d,vocab=%d,body=%d",
+			m.Ctx, m.Dim, m.Heads, m.Layers, m.Vocab, p.Cfg.BodyInstrs),
+		newLearner: func(binsTotal int) (arm, *fleetlearn.Replica) {
+			rep := fleetlearn.NewReplica(p.Model, p.OnlinePPOConfig())
+			a := &learnArm{p: p, rep: rep, bins: binsTotal}
+			a.Reseed(0)
+			return a, rep
 		},
 	}
 }
@@ -214,4 +253,27 @@ func (a *llmArm) Feedback(s []cov.Scores) { a.gen.Feedback(s) }
 
 func (a *llmArm) Reseed(seed int64) {
 	a.gen = core.NewLLMGenerator(a.p, a.bins, false, seed)
+}
+
+// learnArm samples from the shard's replica model and routes scored
+// rollouts back into the replica's PPO trainer; reseeding rebuilds the
+// generator wrapper around the (replica-owned, barrier-averaged)
+// weights. The replica's weights are not part of the arm's checkpoint
+// state — they live in the checkpoint's fleet-level Learn section,
+// since between rounds every shard's replica holds the same merge.
+type learnArm struct {
+	p    *core.Pipeline
+	rep  *fleetlearn.Replica
+	bins int
+	gen  *core.LLMGenerator
+}
+
+func (a *learnArm) Name() string { return "chatfuzz-learn" }
+
+func (a *learnArm) GenerateBatch(n int) []prog.Program { return a.gen.GenerateBatch(n) }
+
+func (a *learnArm) Feedback(s []cov.Scores) { a.gen.Feedback(s) }
+
+func (a *learnArm) Reseed(seed int64) {
+	a.gen = core.NewReplicaGenerator(a.p, a.rep.Model, a.rep, a.bins, seed)
 }

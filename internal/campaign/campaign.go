@@ -42,6 +42,7 @@ import (
 	"chatfuzz/internal/baseline/thehuzz"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/cov"
+	"chatfuzz/internal/fleetlearn"
 	"chatfuzz/internal/rtl"
 )
 
@@ -76,8 +77,20 @@ type Config struct {
 	// (the distributed-fuzzing corpus-sync idea, on bitmaps).
 	NoSync bool
 	// Detect enables differential testing in every shard. Detector
-	// state is not checkpointed: findings restart on resume.
+	// state is checkpointed (v3), so resumed fleets report cumulative
+	// findings across the pause.
 	Detect bool
+	// MismatchWeight blends a mismatch-rate term into the bandit
+	// reward: 0 (default) rewards coverage rate only, 1 rewards new
+	// non-filtered mismatches per virtual hour only, values between
+	// interpolate. Detection campaigns set this to steer scheduling
+	// toward trap-heavy generators; it has no effect without Detect.
+	MismatchWeight float64
+	// MismatchHalf is the mismatch rate, in new non-filtered raw
+	// mismatches per virtual hour, at which the mismatch reward term
+	// reaches 0.5 (default 30). Like RewardHalf it only sets the
+	// comparison scale.
+	MismatchHalf float64
 	// Parallel bounds simulation workers inside each shard (default
 	// 1: the shards themselves are the parallelism).
 	Parallel int
@@ -107,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.BanditDecay <= 0 {
 		c.BanditDecay = 0.9
 	}
+	if c.MismatchHalf <= 0 {
+		c.MismatchHalf = 30
+	}
 	if c.Parallel <= 0 {
 		c.Parallel = 1
 	}
@@ -132,9 +148,12 @@ type Orchestrator struct {
 	designs []string            // per-shard DUT name, in shard order
 	names   []string            // sorted unique design names
 	globals map[string]*cov.Set // fleet-merged coverage, per design
-	merged  []core.ProgressPoint
-	round   int
-	tests   int
+	// fleets[i] aggregates spec i's per-shard model replicas for
+	// barrier weight averaging; nil for non-learning arms.
+	fleets []*fleetlearn.Fleet
+	merged []core.ProgressPoint
+	round  int
+	tests  int
 }
 
 // New builds a homogeneous fleet: one DUT per shard via newDUT, one
@@ -172,12 +191,19 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 		bandit:  NewUCB1(len(specs), cfg.ExploreC),
 		globals: make(map[string]*cov.Set),
 	}
+	replicas := make([][]*fleetlearn.Replica, len(specs))
 	for s := 0; s < cfg.Shards; s++ {
 		dut := newDUTs[s%len(newDUTs)]()
 		arms := make([]arm, len(specs))
 		rec := make([]*recorded, len(specs))
 		for i, sp := range specs {
-			arms[i] = sp.build(dut.Space().NumBins())
+			if sp.newLearner != nil {
+				a, rep := sp.newLearner(dut.Space().NumBins())
+				arms[i] = a
+				replicas[i] = append(replicas[i], rep)
+			} else {
+				arms[i] = sp.build(dut.Space().NumBins())
+			}
 			rec[i] = &recorded{arm: arms[i]}
 		}
 		if !cfg.NoSync {
@@ -214,6 +240,18 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 		o.shards = append(o.shards, &shard{fuz: fuz, arms: arms, rec: rec})
 	}
 	sort.Strings(o.names)
+	o.fleets = make([]*fleetlearn.Fleet, len(specs))
+	for i, reps := range replicas {
+		if len(reps) == 0 {
+			continue
+		}
+		fl, err := fleetlearn.NewFleet(reps...)
+		if err != nil {
+			o.Close()
+			return nil, fmt.Errorf("campaign: learning arm %q: %w", specs[i].Name, err)
+		}
+		o.fleets[i] = fl
+	}
 	return o, nil
 }
 
@@ -251,6 +289,7 @@ func (o *Orchestrator) RunRound() {
 	type delta struct {
 		tests int
 		hours float64
+		mis   int // new non-filtered raw mismatches (Detect only)
 	}
 	deltas := make([]delta, n)
 	var wg sync.WaitGroup
@@ -261,10 +300,17 @@ func (o *Orchestrator) RunRound() {
 			s.arms[picks[i]].Reseed(armSeed(o.Cfg.Seed, i, o.round))
 			s.fuz.Gen = s.rec[picks[i]]
 			t0, h0 := s.fuz.Tests, s.fuz.Clk.Hours()
+			m0 := 0
+			if d := s.fuz.Det; d != nil {
+				m0 = d.RawCount - d.FilteredRaw
+			}
 			for b := 0; b < o.Cfg.RoundBatches; b++ {
 				s.fuz.RunBatch()
 			}
 			deltas[i] = delta{tests: s.fuz.Tests - t0, hours: s.fuz.Clk.Hours() - h0}
+			if d := s.fuz.Det; d != nil {
+				deltas[i].mis = d.RawCount - d.FilteredRaw - m0
+			}
 		}(i, s)
 	}
 	wg.Wait()
@@ -275,12 +321,12 @@ func (o *Orchestrator) RunRound() {
 		if err != nil {
 			panic("campaign: shard coverage space diverged: " + err.Error())
 		}
-		rate := 0.0
+		covRate, misRate := 0.0, 0.0
 		if deltas[i].hours > 0 {
-			rate = float64(added) / deltas[i].hours
+			covRate = float64(added) / deltas[i].hours
+			misRate = float64(deltas[i].mis) / deltas[i].hours
 		}
-		// Squash bins-per-hour into [0, 1): RewardHalf bins/hour ↦ 0.5.
-		o.bandit.Reward(picks[i], rate/(rate+o.Cfg.RewardHalf))
+		o.bandit.Reward(picks[i], o.Cfg.reward(covRate, misRate))
 		o.tests += deltas[i].tests
 	}
 	if !o.Cfg.NoSync {
@@ -295,12 +341,39 @@ func (o *Orchestrator) RunRound() {
 		}
 		o.syncPools()
 	}
+	// Fleet learning step: average the replicas that stepped this round
+	// and redistribute the merge — single-threaded, replicas visited in
+	// shard order, so the merged bits are reproducible (and a checkpoint
+	// taken between rounds needs only this one weight vector per arm).
+	for _, fl := range o.fleets {
+		if fl != nil {
+			fl.Average()
+		}
+	}
 	o.round++
 	o.merged = append(o.merged, core.ProgressPoint{
 		Tests:    o.tests,
 		Hours:    o.Hours(),
 		Coverage: o.Coverage(),
 	})
+}
+
+// reward squashes a shard-round's coverage rate (new merged bins per
+// virtual hour) — and, when MismatchWeight is set, its mismatch rate —
+// into the bandit's [0, 1) reward. RewardHalf and MismatchHalf are the
+// half-saturation points of the two terms.
+func (c Config) reward(covRate, misRate float64) float64 {
+	r := covRate / (covRate + c.RewardHalf)
+	// Without detection misRate is identically zero; skipping the blend
+	// (rather than scaling the coverage term by 1-w against a constant
+	// zero) keeps MismatchWeight a true no-op then, as documented.
+	if w := c.MismatchWeight; w > 0 && c.Detect {
+		if w > 1 {
+			w = 1
+		}
+		r = (1-w)*r + w*misRate/(misRate+c.MismatchHalf)
+	}
+	return r
 }
 
 // syncPools builds the fleet-wide mutation pool and hands it back to
@@ -425,6 +498,32 @@ func (o *Orchestrator) Designs() []string {
 	return out
 }
 
+// CoverageAt returns the fleet's merged coverage at a virtual time
+// (the last round barrier at or before hours), for equal-virtual-time
+// comparisons between fleets whose clocks advance at different rates.
+func (o *Orchestrator) CoverageAt(hours float64) float64 {
+	last := 0.0
+	for _, pt := range o.merged {
+		if pt.Hours > hours {
+			break
+		}
+		last = pt.Coverage
+	}
+	return last
+}
+
+// LearnedWeights returns a copy of a learning arm's current merged
+// (barrier-averaged) model weights, or nil if no arm of that name
+// learns. Valid between rounds, where every replica holds the merge.
+func (o *Orchestrator) LearnedWeights(name string) []float64 {
+	for i, sp := range o.specs {
+		if sp.Name == name && o.fleets[i] != nil {
+			return o.fleets[i].Weights()
+		}
+	}
+	return nil
+}
+
 // Tests returns the total tests executed across all shards.
 func (o *Orchestrator) Tests() int { return o.tests }
 
@@ -527,9 +626,9 @@ func (r Report) String() string {
 			fmt.Fprintf(&b, "  %-8s %d shards, merged coverage %.2f%%\n", d.Name, d.Shards, d.Coverage)
 		}
 	}
-	fmt.Fprintf(&b, "%-10s %6s %12s\n", "arm", "pulls", "mean reward")
+	fmt.Fprintf(&b, "%-14s %6s %12s\n", "arm", "pulls", "mean reward")
 	for _, a := range r.Arms {
-		fmt.Fprintf(&b, "%-10s %6d %12.3f\n", a.Name, a.Pulls, a.MeanReward)
+		fmt.Fprintf(&b, "%-14s %6d %12.3f\n", a.Name, a.Pulls, a.MeanReward)
 	}
 	return b.String()
 }

@@ -7,14 +7,19 @@ import (
 	"os"
 
 	"chatfuzz/internal/core"
+	"chatfuzz/internal/mismatch"
+	"chatfuzz/internal/ml/nn"
 	"chatfuzz/internal/rtl"
 )
 
 // checkpointVersion guards the JSON layout. Version 2 introduced
 // heterogeneous fleets: per-design merged bitmaps (Globals keyed by
 // design name) and the per-shard design list replace the single
-// Global bitmap and Bins fingerprint of version 1.
-const checkpointVersion = 2
+// Global bitmap and Bins fingerprint of version 1. Version 3 adds
+// online fleet learning and cumulative detection: the barrier-averaged
+// model weights of every learning arm (Learn) and each shard's
+// clustered mismatch-detector state (shardState.Det).
+const checkpointVersion = 3
 
 // checkpointFile is the serialized form of a paused fleet. Arms holds
 // the arm signatures (name + parameters), which Resume validates so a
@@ -42,8 +47,14 @@ type checkpointFile struct {
 	Bandit banditState
 	// Globals holds the fleet-merged coverage bitmap of every design.
 	Globals map[string][]uint64
-	Merged  []core.ProgressPoint
-	Shards  []shardState
+	// Learn holds the barrier-averaged model weights of every learning
+	// arm, keyed by arm name (nn.EncodeWeights: base64 of the exact
+	// IEEE-754 bits, so resumed replicas start bit-identical). Between
+	// rounds this one vector is the arm's entire learning state —
+	// averaging resets replica optimizers, so no moments are needed.
+	Learn  map[string]string `json:",omitempty"`
+	Merged []core.ProgressPoint
+	Shards []shardState
 }
 
 type banditState struct {
@@ -60,6 +71,9 @@ type shardState struct {
 	// Arms holds per-arm checkpoint state, indexed like the specs;
 	// nil for stateless arms.
 	Arms []json.RawMessage
+	// Det is the shard's mismatch-detector state (Detect fleets only),
+	// so resumed fleets report cumulative findings.
+	Det *mismatch.State `json:",omitempty"`
 }
 
 // Checkpoint serializes the fleet between rounds. The caller provides
@@ -82,8 +96,14 @@ func (o *Orchestrator) Checkpoint(w io.Writer) error {
 		cf.Bins[n] = o.globals[n].Space().NumBins()
 		cf.Globals[n] = o.globals[n].Snapshot()
 	}
-	for _, sp := range o.specs {
+	for i, sp := range o.specs {
 		cf.Arms = append(cf.Arms, sp.sig)
+		if o.fleets[i] != nil {
+			if cf.Learn == nil {
+				cf.Learn = make(map[string]string)
+			}
+			cf.Learn[sp.Name] = nn.EncodeWeights(o.fleets[i].Weights())
+		}
 	}
 	for _, s := range o.shards {
 		st := shardState{
@@ -91,6 +111,10 @@ func (o *Orchestrator) Checkpoint(w io.Writer) error {
 			Seconds: s.fuz.Clk.Seconds(),
 			Cov:     s.fuz.Calc.Total().Snapshot(),
 			Arms:    make([]json.RawMessage, len(s.arms)),
+		}
+		if s.fuz.Det != nil {
+			det := s.fuz.Det.State()
+			st.Det = &det
 		}
 		for i, a := range s.arms {
 			if sa, ok := a.(statefulArm); ok {
@@ -234,6 +258,31 @@ func ResumeMixed(r io.Reader, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orch
 			if err := sa.armRestore(raw); err != nil {
 				return nil, fmt.Errorf("campaign: restore arm %q: %w", specs[ai].Name, err)
 			}
+		}
+		if st.Det != nil {
+			if s.fuz.Det == nil {
+				return nil, fmt.Errorf("campaign: shard %d checkpointed detector state but detection is off", si)
+			}
+			s.fuz.Det.SetState(*st.Det)
+		}
+	}
+	for i, sp := range o.specs {
+		if o.fleets[i] == nil {
+			continue
+		}
+		enc, ok := cf.Learn[sp.Name]
+		if !ok {
+			// Arm signatures matched, so this can only be a hand-edited
+			// or corrupted file; fail instead of silently restarting the
+			// arm from the pipeline's offline weights.
+			return nil, fmt.Errorf("campaign: checkpoint carries no weights for learning arm %q", sp.Name)
+		}
+		w, err := nn.DecodeWeights(enc)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: weights for learning arm %q: %w", sp.Name, err)
+		}
+		if err := o.fleets[i].SetWeights(w); err != nil {
+			return nil, fmt.Errorf("campaign: restore learning arm %q: %w", sp.Name, err)
 		}
 	}
 	restored = true

@@ -6,7 +6,6 @@ import (
 
 	"chatfuzz/internal/cov"
 	"chatfuzz/internal/engine"
-	"chatfuzz/internal/iss"
 	"chatfuzz/internal/mem"
 	"chatfuzz/internal/mismatch"
 	"chatfuzz/internal/prog"
@@ -177,10 +176,9 @@ func (f *Fuzzer) runOne(p prog.Program) (rtl.Result, []trace.Entry, error) {
 	res := f.DUT.Run(img, budget)
 	var golden []trace.Entry
 	if f.Det != nil {
-		m := mem.Platform()
-		m.Load(img)
-		g := iss.New(m, img.Entry)
-		golden = g.Run(budget)
+		// Same prologue delta replay as the engine workers, so the two
+		// execution paths stay bit-identical.
+		golden = engine.GoldenRun(mem.Platform(), img, budget, nil)
 	}
 	return res, golden, nil
 }

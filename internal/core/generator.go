@@ -23,9 +23,19 @@ type Generator interface {
 	Feedback(scores []cov.Scores)
 }
 
+// RolloutSink consumes the scored PPO rollouts a fuzzing round
+// produced. It is the pipeline hook that exposes per-program
+// generation results to external learners: the fleet-learning
+// subsystem implements it with a per-shard model replica's trainer, so
+// the same simulation that fuzzes the DUT also rewards the replica —
+// without the generator knowing anything about fleets or averaging.
+type RolloutSink interface {
+	StepRollouts(rolls []*ppo.Rollout) ppo.Stats
+}
+
 // LLMGenerator is ChatFuzz's LLM-based Input Generator in the fuzzing
 // loop: it samples test vectors from the trained model and — when
-// Online is set — keeps improving the model from the Coverage
+// Online or Sink is set — keeps improving the model from the Coverage
 // Calculator's scores, exactly as Fig. 1a's feedback arrow describes.
 type LLMGenerator struct {
 	Model  *nn.GPT
@@ -34,6 +44,10 @@ type LLMGenerator struct {
 
 	// Online, when non-nil, applies PPO updates from fuzzing feedback.
 	Online *ppo.Trainer
+	// Sink, when non-nil, receives the scored rollouts instead of
+	// Online: the generator samples from Model (a replica) and the sink
+	// decides how (and on which trainer) to learn from them.
+	Sink RolloutSink
 	// Weights shape the coverage reward for online updates.
 	Weights RewardWeights
 	// BodyInstrs bounds generation length (instructions).
@@ -63,9 +77,29 @@ func NewLLMGenerator(p *Pipeline, binsTotal int, online bool, seed int64) *LLMGe
 		binsTotal:   binsTotal,
 	}
 	if online {
-		cfg := p.ppoConfig()
-		cfg.LR = 1e-4 // gentler than offline training: avoid drift over long campaigns
-		g.Online = ppo.NewTrainer(p.Model, cfg, g.rng)
+		g.Online = ppo.NewTrainer(p.Model, p.OnlinePPOConfig(), g.rng)
+	}
+	return g
+}
+
+// NewReplicaGenerator wires a model replica into the fuzzing loop: the
+// generator samples from model (not the pipeline's shared weights) and
+// forwards every round's scored rollouts to sink. This is the per-shard
+// generation side of fleet learning — tokenizer, corpus, reward shaping
+// and body budget still come from the trained pipeline, but the weights
+// being sampled (and updated, via the sink) are the replica's own.
+func NewReplicaGenerator(p *Pipeline, model *nn.GPT, sink RolloutSink, binsTotal int, seed int64) *LLMGenerator {
+	g := &LLMGenerator{
+		Model:       model,
+		Tok:         p.Tok,
+		Corpus:      p.Corpus,
+		Sink:        sink,
+		Weights:     p.Cfg.Weights,
+		BodyInstrs:  p.Cfg.BodyInstrs,
+		Temperature: 1.0,
+		TopK:        16,
+		rng:         rand.New(rand.NewSource(seed)),
+		binsTotal:   binsTotal,
 	}
 	return g
 }
@@ -74,9 +108,14 @@ func NewLLMGenerator(p *Pipeline, binsTotal int, online bool, seed int64) *LLMGe
 func (g *LLMGenerator) Name() string { return "chatfuzz" }
 
 // FeedbackFree implements the optional engine capability: with online
-// PPO off, Feedback is a no-op and the execution engine may generate
-// the next batch while the current one simulates.
-func (g *LLMGenerator) FeedbackFree() bool { return g.Online == nil }
+// PPO off and no rollout sink, Feedback is a no-op and the execution
+// engine may generate the next batch while the current one simulates.
+// A learning generator must return false here — the next batch has to
+// be sampled from the post-update weights, exactly as the serial loop
+// would — which is how per-input scores reach feedback-driven
+// generators without perturbing the double-buffered engine path for
+// everyone else.
+func (g *LLMGenerator) FeedbackFree() bool { return g.Online == nil && g.Sink == nil }
 
 // GenerateBatch implements Generator. Each test vector is assembled
 // from one or more model generations: a corpus prompt is completed by
@@ -115,10 +154,10 @@ func (g *LLMGenerator) GenerateBatch(n int) []prog.Program {
 }
 
 // Feedback implements Generator: scores become PPO rewards when online
-// learning is enabled. Every generation chunk of a test inherits the
-// test's coverage reward.
+// learning is enabled (via the built-in trainer or an external sink).
+// Every generation chunk of a test inherits the test's coverage reward.
 func (g *LLMGenerator) Feedback(scores []cov.Scores) {
-	if g.Online == nil {
+	if g.Online == nil && g.Sink == nil {
 		return
 	}
 	rolls := make([]*ppo.Rollout, 0, len(g.lastRolls))
@@ -129,6 +168,10 @@ func (g *LLMGenerator) Feedback(scores []cov.Scores) {
 		}
 		r.Score = CoverageReward(scores[ti], g.binsTotal, g.Weights)
 		rolls = append(rolls, r)
+	}
+	if g.Sink != nil {
+		g.Sink.StepRollouts(rolls)
+		return
 	}
 	g.Online.StepRollouts(rolls)
 }

@@ -189,6 +189,17 @@ func (p *Pipeline) ppoConfig() ppo.Config {
 	return cfg
 }
 
+// OnlinePPOConfig is the PPO configuration for learning *during*
+// fuzzing (the online LLM generator and fleet-learning replicas): the
+// offline training config with a gentler learning rate, so long
+// campaigns refine the policy instead of drifting it away from the
+// trained distribution.
+func (p *Pipeline) OnlinePPOConfig() ppo.Config {
+	cfg := p.ppoConfig()
+	cfg.LR = 1e-4
+	return cfg
+}
+
 // Cleanup is training step 2: PPO against the disassembler reward
 // (Eq. 1), teaching the model to pair parcels into legal instructions
 // and avoid illegal combinations.

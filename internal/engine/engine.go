@@ -42,7 +42,6 @@ import (
 	"sync"
 
 	"chatfuzz/internal/cov"
-	"chatfuzz/internal/iss"
 	"chatfuzz/internal/mem"
 	"chatfuzz/internal/prog"
 	"chatfuzz/internal/rtl"
@@ -159,10 +158,8 @@ func (w *worker) exec(r *Round, i int) {
 	}
 	if w.sh.detect {
 		w.gmem.Reset()
-		w.gmem.Load(img)
-		g := iss.New(w.gmem, img.Entry)
 		buf, _ := w.sh.goldens.get()
-		o.Golden = g.RunAppend(buf, budget)
+		o.Golden = GoldenRun(w.gmem, img, budget, buf)
 		o.pooledGolden = true
 	}
 	r.markReady(i)

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatfuzz/internal/baseline/randinst"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/trace"
+)
+
+// fullGoldenRun is the reference: execute from reset, prologue and all.
+func fullGoldenRun(img mem.Image, budget int) []trace.Entry {
+	m := mem.Platform()
+	m.Load(img)
+	return iss.New(m, img.Entry).Run(budget)
+}
+
+// TestGoldenRunMatchesFullRun: the prologue delta replay must be
+// bit-identical to a from-reset golden run for every kind of body the
+// fuzzers produce — valid instruction mixes, raw mostly-illegal words
+// (trap storms through the handler), the empty body, and a body that
+// halts via tohost mid-run.
+func TestGoldenRunMatchesFullRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var bodies [][]uint32
+	for i := 0; i < 8; i++ {
+		bodies = append(bodies, randinst.Program(rng, 24))
+	}
+	for i := 0; i < 4; i++ {
+		raw := make([]uint32, 16)
+		for j := range raw {
+			raw[j] = rng.Uint32()
+		}
+		bodies = append(bodies, raw)
+	}
+	bodies = append(bodies, nil) // empty body: epilogue only
+
+	for bi, body := range bodies {
+		img, _, err := prog.Build(prog.Program{Body: body})
+		if err != nil {
+			t.Fatalf("body %d: %v", bi, err)
+		}
+		budget := prog.InstructionBudget(len(body))
+		want := fullGoldenRun(img, budget)
+		got := GoldenRun(mem.Platform(), img, budget, nil)
+		if len(got) != len(want) {
+			t.Fatalf("body %d: delta replay trace has %d entries, full run %d", bi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("body %d entry %d differs:\n  delta: %v\n  full:  %v", bi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGoldenRunSmallBudgetFallsBack: a budget too small to clear the
+// prologue must truncate exactly like a from-reset run, not replay a
+// longer cached prologue.
+func TestGoldenRunSmallBudgetFallsBack(t *testing.T) {
+	img, _ := prog.MustBuild(prog.Program{Body: []uint32{0x00000013}}) // addi x0,x0,0
+	for _, budget := range []int{0, 1, 7, 50} {
+		want := fullGoldenRun(img, budget)
+		got := GoldenRun(mem.Platform(), img, budget, nil)
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: %d entries, want %d", budget, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("budget %d entry %d differs", budget, i)
+			}
+		}
+	}
+}
+
+// TestGoldenRunReusesBuffer: the returned slice must reuse the caller's
+// buffer capacity (the engine workers pool these).
+func TestGoldenRunReusesBuffer(t *testing.T) {
+	img, _ := prog.MustBuild(prog.Program{})
+	budget := prog.InstructionBudget(0)
+	first := GoldenRun(mem.Platform(), img, budget, nil)
+	buf := first[:0]
+	second := GoldenRun(mem.Platform(), img, budget, buf)
+	if &second[0] != &first[0] {
+		t.Error("GoldenRun did not append into the provided buffer")
+	}
+}

@@ -1,0 +1,194 @@
+// Package fleetlearn implements online fleet learning for sharded
+// fuzzing campaigns: per-shard PPO model replicas with deterministic
+// federated weight averaging at the orchestrator barrier.
+//
+// The paper's central claim is that the input model keeps learning
+// from hardware feedback, but a sharded fleet cannot share one
+// mutable model — concurrent shards would race on the weights and a
+// resumed run could not replay the updates. Fleet learning resolves
+// this the way federated averaging does (McMahan et al.: local steps
+// on replicas, periodic parameter averaging), specialised to the
+// orchestrator's determinism contract:
+//
+//   - Replica: each shard that schedules the LLM arm owns a deep copy
+//     of the trained model plus a PPO trainer over it. During a round
+//     the shard's goroutine is the only one touching its replica — the
+//     rollouts its generated programs produced (scored by incremental
+//     fleet coverage) update the replica locally, with the KL penalty
+//     anchored to a frozen copy of the offline-trained base model.
+//   - Fleet: at every orchestrator barrier — single-threaded, shards
+//     visited in fixed index order — the replicas that stepped this
+//     round are averaged parameter-wise (sums accumulated in replica
+//     order, so float rounding is reproducible) and the merged vector
+//     is redistributed to every replica. A replica that skipped the
+//     round still receives the merged weights, so discoveries spread
+//     through the whole fleet within one round.
+//
+// Determinism and checkpointing: averaging resets each replica's
+// optimizer, so between rounds the entire learning state collapses to
+// one flat weight vector — all replicas hold the merged weights and
+// every trainer is freshly initialised. A campaign checkpoint
+// therefore carries just that vector (bit-exact, via nn.EncodeWeights)
+// and a resumed fleet replays the remaining rounds bit-identically: no
+// wall-clock, no RNG outside the orchestrator's checkpointed streams,
+// no optimizer moments to serialize.
+package fleetlearn
+
+import (
+	"fmt"
+
+	"chatfuzz/internal/ml/nn"
+	"chatfuzz/internal/ml/ppo"
+)
+
+// Replica is one shard's private copy of the policy model plus the PPO
+// trainer that updates it from fuzzing feedback. It implements
+// core.RolloutSink, so it plugs directly into an LLM generator built
+// with core.NewReplicaGenerator. A Replica is not goroutine-safe; the
+// owning shard is the only writer between barriers.
+type Replica struct {
+	// Model is the replica's policy: sampled by the shard's generator,
+	// stepped by the trainer, overwritten by barrier averaging.
+	Model *nn.GPT
+
+	ref   *nn.GPT // frozen KL reference (copy of the base model)
+	cfg   ppo.Config
+	tr    *ppo.Trainer
+	dirty bool // stepped since the last averaging
+}
+
+// NewReplica deep-copies base into a fresh replica. The base model is
+// never mutated: the policy and the frozen KL reference are both
+// independent clones.
+func NewReplica(base *nn.GPT, cfg ppo.Config) *Replica {
+	r := &Replica{Model: base.Clone(), ref: base.Clone(), cfg: cfg}
+	r.resetTrainer()
+	return r
+}
+
+// resetTrainer rebuilds the PPO trainer (fresh Adam state) over the
+// replica's current weights. Called after every weight assignment so
+// that inter-round learning state is exactly (weights) — see the
+// package comment's checkpointing argument.
+func (r *Replica) resetTrainer() {
+	r.tr = ppo.NewTrainerWithRef(r.Model, r.ref, r.cfg, nil)
+}
+
+// StepRollouts applies one PPO update from externally scored rollouts
+// and marks the replica for the next barrier averaging. Implements
+// core.RolloutSink.
+func (r *Replica) StepRollouts(rolls []*ppo.Rollout) ppo.Stats {
+	if len(rolls) == 0 {
+		return ppo.Stats{}
+	}
+	r.dirty = true
+	return r.tr.StepRollouts(rolls)
+}
+
+// Dirty reports whether the replica has stepped since the last
+// averaging (or weight assignment).
+func (r *Replica) Dirty() bool { return r.dirty }
+
+// setFlat assigns a flattened weight vector and resets the trainer.
+func (r *Replica) setFlat(w []float64) error {
+	if err := r.Model.SetFlatParams(w); err != nil {
+		return err
+	}
+	r.dirty = false
+	r.resetTrainer()
+	return nil
+}
+
+// Fleet aggregates the replicas of one learning arm across all shards
+// and performs the barrier-time weight averaging. Replica order is
+// fixed at construction (shard order); every reduction below iterates
+// in that order, which makes the averaged bits a pure function of the
+// replicas' weights.
+type Fleet struct {
+	replicas []*Replica
+	sum      []float64 // reused accumulator
+	flat     []float64 // reused per-replica flatten scratch
+}
+
+// NewFleet builds a fleet over replicas in shard order. All replicas
+// must share one model configuration.
+func NewFleet(replicas ...*Replica) (*Fleet, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("fleetlearn: a fleet needs at least one replica")
+	}
+	cfg := replicas[0].Model.Cfg
+	for i, r := range replicas[1:] {
+		if r.Model.Cfg != cfg {
+			return nil, fmt.Errorf("fleetlearn: replica %d config %+v differs from replica 0 %+v", i+1, r.Model.Cfg, cfg)
+		}
+	}
+	n := nn.NumParamsOf(cfg)
+	return &Fleet{replicas: replicas, sum: make([]float64, n), flat: make([]float64, 0, n)}, nil
+}
+
+// Replicas returns the fleet size.
+func (f *Fleet) Replicas() int { return len(f.replicas) }
+
+// Replica returns the i-th replica (shard order).
+func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
+
+// Average performs one federated-averaging step: the parameter vectors
+// of every replica that stepped since the last barrier are summed in
+// replica order, divided by the participant count, and the merged
+// weights are redistributed to every replica (participant or not),
+// resetting their trainers. Returns the number of participants; zero
+// means no replica learned this round and nothing was touched.
+//
+// Determinism: the caller (the orchestrator barrier) is single-
+// threaded, the iteration order is fixed, and float accumulation
+// happens in that order — averaging the same replica states always
+// produces the same bits.
+func (f *Fleet) Average() int {
+	participants := 0
+	for i := range f.sum {
+		f.sum[i] = 0
+	}
+	for _, r := range f.replicas {
+		if !r.dirty {
+			continue
+		}
+		f.flat = r.Model.FlattenParams(f.flat[:0])
+		for i, v := range f.flat {
+			f.sum[i] += v
+		}
+		participants++
+	}
+	if participants == 0 {
+		return 0
+	}
+	inv := 1 / float64(participants)
+	for i := range f.sum {
+		f.sum[i] *= inv
+	}
+	for _, r := range f.replicas {
+		if err := r.setFlat(f.sum); err != nil {
+			// Config equality was validated at construction; a size
+			// mismatch here is a programming error, not an input error.
+			panic("fleetlearn: redistribute: " + err.Error())
+		}
+	}
+	return participants
+}
+
+// Weights returns a copy of the fleet's current merged weight vector.
+// Valid between rounds, where every replica holds identical weights
+// (Average redistributes, and assignment covers non-participants).
+func (f *Fleet) Weights() []float64 {
+	return f.replicas[0].Model.FlattenParams(nil)
+}
+
+// SetWeights assigns an explicit weight vector to every replica —
+// the resume path, restoring a checkpoint's merged weights.
+func (f *Fleet) SetWeights(w []float64) error {
+	for i, r := range f.replicas {
+		if err := r.setFlat(w); err != nil {
+			return fmt.Errorf("fleetlearn: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package fleetlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chatfuzz/internal/ml/nn"
+	"chatfuzz/internal/ml/ppo"
+)
+
+func tinyBase(seed int64) *nn.GPT {
+	cfg := nn.Config{Vocab: 12, Ctx: 16, Dim: 16, Heads: 2, Layers: 1}
+	return nn.NewGPT(cfg, rand.New(rand.NewSource(seed)))
+}
+
+func tinyPPO() ppo.Config {
+	cfg := ppo.DefaultConfig(1, 2)
+	cfg.LR = 1e-3
+	return cfg
+}
+
+// roll builds a deterministic hand-crafted rollout (token ids < vocab).
+func roll(score float64) *ppo.Rollout {
+	return &ppo.Rollout{
+		Tokens:  []int{0, 3, 4, 5},
+		PromptN: 1,
+		LogpOld: []float64{-1.1, -0.9, -1.3},
+		Values:  []float64{0.1, 0.0, -0.1},
+		Score:   score,
+	}
+}
+
+// constVec fills a replica with a constant parameter vector and marks
+// it as a round participant, for table-driven averaging checks.
+func constVec(r *Replica, v float64, dirty bool) {
+	w := make([]float64, r.Model.NumParams())
+	for i := range w {
+		w[i] = v
+	}
+	if err := r.Model.SetFlatParams(w); err != nil {
+		panic(err)
+	}
+	r.dirty = dirty
+}
+
+// TestAverageIsMeanOfParticipants: table-driven — the merged vector is
+// the mean over exactly the dirty replicas, in every participation
+// pattern, and is redistributed to every replica.
+func TestAverageIsMeanOfParticipants(t *testing.T) {
+	cases := []struct {
+		name    string
+		vals    []float64
+		dirty   []bool
+		want    float64 // expected merged scalar (all-constant replicas)
+		wantN   int
+		touched bool
+	}{
+		{"all participate", []float64{1, 2, 3}, []bool{true, true, true}, 2, 3, true},
+		{"one participates", []float64{1, 2, 3}, []bool{false, true, false}, 2, 1, true},
+		{"two participate", []float64{1, 2, 4}, []bool{true, false, true}, 2.5, 2, true},
+		{"none participate", []float64{1, 2, 3}, []bool{false, false, false}, 0, 0, false},
+		{"single replica", []float64{7}, []bool{true}, 7, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := tinyBase(1)
+			var reps []*Replica
+			for i := range tc.vals {
+				r := NewReplica(base, tinyPPO())
+				constVec(r, tc.vals[i], tc.dirty[i])
+				reps = append(reps, r)
+			}
+			f, err := NewFleet(reps...)
+			if err != nil {
+				t.Fatalf("NewFleet: %v", err)
+			}
+			if got := f.Average(); got != tc.wantN {
+				t.Fatalf("Average reported %d participants, want %d", got, tc.wantN)
+			}
+			for ri, r := range reps {
+				flat := r.Model.FlattenParams(nil)
+				want := tc.vals[ri] // untouched when no one participated
+				if tc.touched {
+					want = tc.want
+				}
+				for i, v := range flat {
+					if v != want {
+						t.Fatalf("replica %d scalar %d = %v, want %v", ri, i, v, want)
+					}
+				}
+				if r.Dirty() && tc.touched {
+					t.Errorf("replica %d still dirty after averaging", ri)
+				}
+			}
+		})
+	}
+}
+
+// TestAverageIsDeterministic: two fleets built identically and stepped
+// with identical rollouts must produce bit-identical merged weights —
+// the property the orchestrator's resume bit-identity rests on.
+func TestAverageIsDeterministic(t *testing.T) {
+	build := func() *Fleet {
+		base := tinyBase(3)
+		a, b, c := NewReplica(base, tinyPPO()), NewReplica(base, tinyPPO()), NewReplica(base, tinyPPO())
+		a.StepRollouts([]*ppo.Rollout{roll(1.0)})
+		c.StepRollouts([]*ppo.Rollout{roll(-0.5), roll(2.0)})
+		f, err := NewFleet(a, b, c)
+		if err != nil {
+			t.Fatalf("NewFleet: %v", err)
+		}
+		if n := f.Average(); n != 2 {
+			t.Fatalf("participants = %d, want 2", n)
+		}
+		return f
+	}
+	w1, w2 := build().Weights(), build().Weights()
+	for i := range w1 {
+		if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) {
+			t.Fatalf("scalar %d differs across identical runs: %x vs %x",
+				i, math.Float64bits(w1[i]), math.Float64bits(w2[i]))
+		}
+	}
+}
+
+// TestReplicaIsolation: stepping one replica must leave the base model
+// and sibling replicas bit-untouched — replicas are deep copies, not
+// views.
+func TestReplicaIsolation(t *testing.T) {
+	base := tinyBase(5)
+	baseFlat := base.FlattenParams(nil)
+	a := NewReplica(base, tinyPPO())
+	b := NewReplica(base, tinyPPO())
+
+	a.StepRollouts([]*ppo.Rollout{roll(1.0)})
+	if !a.Dirty() {
+		t.Fatal("stepped replica not marked dirty")
+	}
+	if b.Dirty() {
+		t.Fatal("sibling replica marked dirty")
+	}
+	for i, v := range base.FlattenParams(nil) {
+		if v != baseFlat[i] {
+			t.Fatal("base model mutated by a replica step")
+		}
+	}
+	bFlat := b.Model.FlattenParams(nil)
+	for i := range bFlat {
+		if bFlat[i] != baseFlat[i] {
+			t.Fatal("sibling replica mutated by another replica's step")
+		}
+	}
+	aFlat := a.Model.FlattenParams(nil)
+	moved := false
+	for i := range aFlat {
+		if aFlat[i] != baseFlat[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("stepped replica did not move")
+	}
+}
+
+// TestSetWeightsRoundTrip: Weights/SetWeights must round-trip
+// bit-exactly through the encoded form checkpoints use.
+func TestSetWeightsRoundTrip(t *testing.T) {
+	base := tinyBase(7)
+	a := NewReplica(base, tinyPPO())
+	a.StepRollouts([]*ppo.Rollout{roll(1.5)})
+	f1, _ := NewFleet(a)
+	f1.Average()
+	want := f1.Weights()
+
+	enc := nn.EncodeWeights(want)
+	dec, err := nn.DecodeWeights(enc)
+	if err != nil {
+		t.Fatalf("DecodeWeights: %v", err)
+	}
+	f2, _ := NewFleet(NewReplica(tinyBase(7), tinyPPO()), NewReplica(tinyBase(7), tinyPPO()))
+	if err := f2.SetWeights(dec); err != nil {
+		t.Fatalf("SetWeights: %v", err)
+	}
+	for i := 0; i < f2.Replicas(); i++ {
+		got := f2.Replica(i).Model.FlattenParams(nil)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("replica %d scalar %d not bit-exact after round trip", i, j)
+			}
+		}
+	}
+	if err := f2.SetWeights(want[:10]); err == nil {
+		t.Error("SetWeights accepted a short vector")
+	}
+}
+
+// TestNewFleetValidates: empty fleets and mixed model shapes are
+// construction errors, not latent averaging panics.
+func TestNewFleetValidates(t *testing.T) {
+	if _, err := NewFleet(); err == nil {
+		t.Error("NewFleet accepted zero replicas")
+	}
+	small := NewReplica(tinyBase(1), tinyPPO())
+	bigCfg := nn.Config{Vocab: 12, Ctx: 16, Dim: 32, Heads: 2, Layers: 1}
+	big := NewReplica(nn.NewGPT(bigCfg, rand.New(rand.NewSource(1))), tinyPPO())
+	if _, err := NewFleet(small, big); err == nil {
+		t.Error("NewFleet accepted replicas with different model configs")
+	}
+}

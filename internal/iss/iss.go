@@ -40,6 +40,35 @@ func New(m *mem.Memory, entry uint64) *ISS {
 	return &ISS{PC: entry, Mem: m, Priv: isa.PrivM, CSR: hart.CSRFile{MPP: isa.PrivU}}
 }
 
+// Snapshot is the architectural state of a paused simulator —
+// everything except memory contents. The execution engine snapshots
+// the state once after the (program-independent) harness prologue and
+// starts every golden run from it, instead of re-executing the ~170
+// register-init instructions per test. Memory is deliberately absent:
+// the prologue performs no stores, so a freshly loaded image is
+// already the correct post-prologue memory.
+type Snapshot struct {
+	PC       uint64
+	X        [32]uint64
+	Priv     isa.Priv
+	CSR      hart.CSRFile
+	ResValid bool
+	ResAddr  uint64
+}
+
+// Snapshot captures the simulator's current architectural state.
+func (s *ISS) Snapshot() Snapshot {
+	return Snapshot{PC: s.PC, X: s.X, Priv: s.Priv, CSR: s.CSR,
+		ResValid: s.ResValid, ResAddr: s.ResAddr}
+}
+
+// NewFromSnapshot returns a simulator resumed from a snapshot over the
+// given (already loaded) memory.
+func NewFromSnapshot(snap Snapshot, m *mem.Memory) *ISS {
+	return &ISS{PC: snap.PC, X: snap.X, Mem: m, Priv: snap.Priv, CSR: snap.CSR,
+		ResValid: snap.ResValid, ResAddr: snap.ResAddr}
+}
+
 // resGranule returns the reservation granule of an address.
 func resGranule(addr uint64) uint64 { return addr &^ 7 }
 

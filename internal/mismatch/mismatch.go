@@ -309,6 +309,42 @@ func (d *Detector) record(m Mismatch) {
 	}
 }
 
+// State is the detector's serializable form: the counters plus the
+// clustered records in Unique() order (deterministic, so identical
+// detectors checkpoint to identical bytes). Every field of a Record —
+// including the trace entries of its example — is plain data, so State
+// marshals directly to JSON and round-trips exactly.
+type State struct {
+	Tests       int
+	RawCount    int
+	FilteredRaw int
+	Records     []Record
+}
+
+// State captures the detector for a campaign checkpoint.
+func (d *Detector) State() State {
+	st := State{Tests: d.Tests, RawCount: d.RawCount, FilteredRaw: d.FilteredRaw}
+	for _, r := range d.Unique() {
+		st.Records = append(st.Records, *r)
+	}
+	return st
+}
+
+// SetState restores a checkpointed detector: counters and clustered
+// records replace the current contents (filters are construction-time
+// configuration and are kept). A resumed fleet therefore reports
+// cumulative findings across the pause instead of restarting at zero.
+func (d *Detector) SetState(st State) {
+	d.Tests = st.Tests
+	d.RawCount = st.RawCount
+	d.FilteredRaw = st.FilteredRaw
+	d.unique = make(map[string]*Record, len(st.Records))
+	for i := range st.Records {
+		r := st.Records[i]
+		d.unique[r.Signature] = &r
+	}
+}
+
 // Unique returns the clustered mismatch records, most frequent first.
 func (d *Detector) Unique() []*Record {
 	out := make([]*Record, 0, len(d.unique))

@@ -1,6 +1,7 @@
 package mismatch
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -192,5 +193,48 @@ func TestEndToEndFindingDetection(t *testing.T) {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %s:\n%s", want, rep)
 		}
+	}
+}
+
+// TestStateRoundTrip: a detector serialized through State/SetState
+// (and through JSON, as campaign checkpoints do) must report
+// identically to the original, and keep accumulating correctly.
+func TestStateRoundTrip(t *testing.T) {
+	d := NewDetector()
+	g1 := entry(0x100, isa.OpMUL, 0x02B50533)
+	g1.RdValid, g1.Rd, g1.RdVal = true, isa.A0, 42
+	d1 := entry(0x100, isa.OpMUL, 0x02B50533)
+	d.Analyze(1, []trace.Entry{d1}, []trace.Entry{g1})
+	d.Analyze(2, []trace.Entry{d1}, []trace.Entry{g1})
+	d.SkipTest()
+
+	raw, err := json.Marshal(d.State())
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var st State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	d2 := NewDetector()
+	d2.SetState(st)
+
+	if d2.Tests != d.Tests || d2.RawCount != d.RawCount || d2.FilteredRaw != d.FilteredRaw {
+		t.Errorf("counters differ after restore: %d/%d/%d vs %d/%d/%d",
+			d2.Tests, d2.RawCount, d2.FilteredRaw, d.Tests, d.RawCount, d.FilteredRaw)
+	}
+	if d2.Report() != d.Report() {
+		t.Errorf("report differs after restore:\n%s\nvs\n%s", d2.Report(), d.Report())
+	}
+
+	// The restored detector must keep clustering into the same records.
+	d.Analyze(3, []trace.Entry{d1}, []trace.Entry{g1})
+	d2.Analyze(3, []trace.Entry{d1}, []trace.Entry{g1})
+	if d2.Report() != d.Report() {
+		t.Errorf("report diverges after further analysis:\n%s\nvs\n%s", d2.Report(), d.Report())
+	}
+	u := d2.Unique()
+	if len(u) != 1 || u[0].Count != 3 {
+		t.Fatalf("restored detector records = %+v, want one record with count 3", u)
 	}
 }

@@ -5,6 +5,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -141,6 +142,48 @@ func (m *GPT) Clone() *GPT {
 	c.VHead = m.VHead.Clone()
 	c.VBias = m.VBias.Clone()
 	return c
+}
+
+// NumParamsOf is NumParams without building a model: the scalar
+// parameter count a configuration implies (used to validate serialized
+// weight vectors before assignment).
+func NumParamsOf(cfg Config) int {
+	d := cfg.Dim
+	perBlock := 2*d + // LN1
+		d*3*d + 3*d + // qkv
+		d*d + d + // proj
+		2*d + // LN2
+		d*4*d + 4*d + // fc
+		4*d*d + d // out
+	return cfg.Vocab*d + cfg.Ctx*d + cfg.Layers*perBlock +
+		2*d + // final LN
+		d*cfg.Vocab + // head
+		d + 1 // value head + bias
+}
+
+// FlattenParams appends every parameter scalar to dst (in Params()
+// order) and returns the grown slice. The layout is stable for a given
+// Config, which makes flattened vectors the currency of fleet weight
+// averaging and of checkpoint serialization.
+func (m *GPT) FlattenParams(dst []float64) []float64 {
+	for _, p := range m.Params() {
+		dst = append(dst, p.Data...)
+	}
+	return dst
+}
+
+// SetFlatParams assigns a flattened parameter vector (as produced by
+// FlattenParams on a same-Config model) back into the model's tensors.
+func (m *GPT) SetFlatParams(w []float64) error {
+	if want := m.NumParams(); len(w) != want {
+		return fmt.Errorf("nn: flat weight vector has %d scalars, model needs %d", len(w), want)
+	}
+	off := 0
+	for _, p := range m.Params() {
+		copy(p.Data, w[off:off+len(p.Data)])
+		off += len(p.Data)
+	}
+	return nil
 }
 
 // hidden runs the transformer backbone over a padded batch. ids is

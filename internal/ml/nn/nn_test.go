@@ -201,3 +201,55 @@ func TestGradNormClip(t *testing.T) {
 		t.Errorf("post-clip norm = %v, want 1", n)
 	}
 }
+
+func TestFlattenSetFlatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewGPT(tinyConfig(), rng)
+	flat := m.FlattenParams(nil)
+	if len(flat) != m.NumParams() {
+		t.Fatalf("flattened %d scalars, NumParams %d", len(flat), m.NumParams())
+	}
+	if got := NumParamsOf(m.Cfg); got != m.NumParams() {
+		t.Fatalf("NumParamsOf = %d, model has %d", got, m.NumParams())
+	}
+
+	m2 := NewGPT(tinyConfig(), rand.New(rand.NewSource(10)))
+	if err := m2.SetFlatParams(flat); err != nil {
+		t.Fatalf("SetFlatParams: %v", err)
+	}
+	flat2 := m2.FlattenParams(nil)
+	for i := range flat {
+		if flat[i] != flat2[i] {
+			t.Fatalf("scalar %d differs after round trip: %v vs %v", i, flat[i], flat2[i])
+		}
+	}
+	if err := m2.SetFlatParams(flat[:len(flat)-1]); err == nil {
+		t.Error("SetFlatParams accepted a short vector")
+	}
+}
+
+func TestEncodeDecodeWeightsBitExact(t *testing.T) {
+	w := []float64{0, 1, -1, math.Pi, 1e-300, -1e300, math.Inf(1), 0.1 + 0.2}
+	s := EncodeWeights(w)
+	if s2 := EncodeWeights(w); s2 != s {
+		t.Fatal("encoding is not stable across calls")
+	}
+	got, err := DecodeWeights(s)
+	if err != nil {
+		t.Fatalf("DecodeWeights: %v", err)
+	}
+	if len(got) != len(w) {
+		t.Fatalf("decoded %d scalars, want %d", len(got), len(w))
+	}
+	for i := range w {
+		if math.Float64bits(got[i]) != math.Float64bits(w[i]) {
+			t.Errorf("scalar %d not bit-exact: %x vs %x", i, math.Float64bits(got[i]), math.Float64bits(w[i]))
+		}
+	}
+	if _, err := DecodeWeights("not base64!!"); err == nil {
+		t.Error("DecodeWeights accepted invalid base64")
+	}
+	if _, err := DecodeWeights("AAAA"); err == nil {
+		t.Error("DecodeWeights accepted a length not divisible by 8")
+	}
+}

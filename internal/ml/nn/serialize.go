@@ -1,9 +1,12 @@
 package nn
 
 import (
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -53,6 +56,36 @@ func (m *GPT) Load(r io.Reader) error {
 		copy(p.Data, mf.Params[i])
 	}
 	return nil
+}
+
+// EncodeWeights renders a flattened weight vector as base64 of the
+// little-endian IEEE-754 bit patterns. Unlike a decimal rendering this
+// is bit-exact by construction and byte-stable across runs, which is
+// what lets campaign checkpoints carry model weights and still be
+// compared with ==; unlike gob it embeds no type metadata, so the
+// encoding of a given vector never varies with encoder state.
+func EncodeWeights(w []float64) string {
+	buf := make([]byte, 8*len(w))
+	for i, v := range w {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// DecodeWeights reverses EncodeWeights.
+func DecodeWeights(s string) ([]float64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("nn: decode weights: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("nn: encoded weights are %d bytes, not a multiple of 8", len(buf))
+	}
+	w := make([]float64, len(buf)/8)
+	for i := range w {
+		w[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return w, nil
 }
 
 // LoadFile reads a checkpoint from a file.

@@ -68,9 +68,21 @@ type Trainer struct {
 // NewTrainer clones the policy as the frozen reference and sets up the
 // optimizer.
 func NewTrainer(policy *nn.GPT, cfg Config, rng *rand.Rand) *Trainer {
+	return NewTrainerWithRef(policy, policy.Clone(), cfg, rng)
+}
+
+// NewTrainerWithRef builds a trainer over an explicit policy/reference
+// pair instead of cloning the policy. Fleet learning uses it to
+// construct per-shard replicas: the policy is a shard's deep-copied
+// model and ref a frozen copy of the offline-trained base, so every
+// replica's KL penalty stays anchored to the same distribution no
+// matter how the replicas drift between averaging barriers. rng may be
+// nil when the caller only ever feeds externally collected rollouts
+// through StepRollouts (Step is the only sampler of the rng).
+func NewTrainerWithRef(policy, ref *nn.GPT, cfg Config, rng *rand.Rand) *Trainer {
 	return &Trainer{
 		Policy: policy,
-		Ref:    policy.Clone(),
+		Ref:    ref,
 		Opt:    nn.NewAdam(policy.Params(), cfg.LR),
 		Cfg:    cfg,
 		rng:    rng,

@@ -155,3 +155,43 @@ func TestReferenceModelFrozen(t *testing.T) {
 		t.Error("policy parameters did not change")
 	}
 }
+
+// TestTrainerWithSharedRefUpdatesOnlyPolicy: a trainer built over an
+// explicit (policy, ref) pair — the fleet-replica construction — must
+// optimise the policy while leaving the reference bit-untouched, and
+// StepRollouts must work with a nil rng (replicas never call Step).
+func TestTrainerWithExplicitRef(t *testing.T) {
+	base, rng := tinyModel(21)
+	policy := base.Clone()
+	ref := base.Clone()
+	tr := NewTrainerWithRef(policy, ref, DefaultConfig(1, 2), nil)
+
+	// Collect rollouts with a seeded rng, then feed them through the
+	// rng-free update path.
+	res := policy.Generate(rng, []int{0, 3}, 6, 1.0, 0, 1)
+	if len(res.Tokens) == res.PromptN {
+		t.Skip("nothing generated")
+	}
+	st := tr.StepRollouts([]*Rollout{FromGeneration(res, 1.0)})
+	if st.MeanReward != 1.0 {
+		t.Errorf("mean reward %v, want 1", st.MeanReward)
+	}
+
+	refFlat, baseFlat := ref.FlattenParams(nil), base.FlattenParams(nil)
+	for i := range refFlat {
+		if refFlat[i] != baseFlat[i] {
+			t.Fatal("reference model drifted during the update")
+		}
+	}
+	polFlat := policy.FlattenParams(nil)
+	moved := false
+	for i := range polFlat {
+		if polFlat[i] != baseFlat[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("policy did not move after StepRollouts")
+	}
+}
