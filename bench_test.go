@@ -381,6 +381,116 @@ func BenchmarkOnlineLearning(b *testing.B) {
 	}
 }
 
+// rigDUT models a simulator rig in the paper's cost regime: RTL
+// simulation is the binding cost (VCS spends seconds per test, and
+// BOOM's out-of-order core simulates several times slower than
+// Rocket), while the toy core models here run in tens of
+// microseconds. Each run therefore carries a per-test rig latency —
+// still ~100x faster than the modelled VCS rigs, so the scheduling
+// benchmark stays conservative — which makes the fleet heterogeneous
+// the same way a real Rocket+BOOM farm is. rigDUT deliberately does
+// not implement rtl.ReusableDUT: the latency is part of Run.
+type rigDUT struct {
+	rtl.DUT
+	latency time.Duration
+}
+
+func (r *rigDUT) Name() string { return r.DUT.Name() + "-rig" }
+
+func (r *rigDUT) Run(img mem.Image, maxInsts int) rtl.Result {
+	time.Sleep(r.latency)
+	return r.DUT.Run(img, maxInsts)
+}
+
+// BenchmarkFleetPool is the work-stealing acceptance benchmark: the
+// same skewed mixed fleet — Rocket and (slower) BOOM rigs, with the
+// online-learning LLM arm paying its generation and PPO updates on
+// its shard's critical path — timed on per-shard execution pools
+// (PR 2's layout: every shard owns its workers, so a shard's batch
+// simulates serially on its own rig) and on the fleet-level
+// work-stealing pool (one shared scheduler, design-affine workers,
+// helping committers, so idle shards' capacity drains the slow
+// design's queue). Reported metrics: the wall-clock speedup of the
+// fleet pool, its worker utilization (busy time over workers ×
+// elapsed, committer help separately), the shrink in summed barrier
+// wait, and the steal/migration counts. The two runs' trajectories
+// are asserted (not just reported) to be bit-identical, so the ratio
+// measures pure scheduling efficiency.
+func BenchmarkFleetPool(b *testing.B) {
+	// Test-scale pipeline: generation stays cheap next to the rig
+	// latency, as in the paper's regime, leaving the PPO update as
+	// the learning shard's unstealable critical-path skew.
+	p := core.NewPipeline(core.TestPipelineConfig())
+	const tests = 512
+	newDUTs := []func() rtl.DUT{
+		func() rtl.DUT { return &rigDUT{DUT: rocket.New(), latency: 8 * time.Millisecond} },
+		func() rtl.DUT { return &rigDUT{DUT: boom.New(), latency: 24 * time.Millisecond} },
+	}
+	arms := []campaign.ArmSpec{
+		campaign.LearningLLMArm(p),
+		campaign.TheHuzzArm(benchBody),
+		campaign.RandInstArm(benchBody),
+		campaign.RandFuzzArm(benchBody),
+	}
+	newFleet := func(fleet bool) *campaign.Orchestrator {
+		cfg := campaign.Config{Shards: 8, BatchSize: 16, Seed: 1, Detect: true, Probe: true, FleetPool: fleet}
+		if fleet {
+			// Rig work is latency-bound, not core-bound: workers beyond
+			// GOMAXPROCS still buy overlap, exactly as they would
+			// against external simulator processes.
+			cfg.PoolWorkers = 12
+		}
+		o, err := campaign.NewMixed(cfg, newDUTs, arms...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return o
+	}
+	// Warm the harness caches and code paths outside the timings.
+	w := newFleet(true)
+	w.RunTests(128)
+	w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		perShard := newFleet(false)
+		perShard.RunTests(tests)
+		tShard := time.Since(t0)
+
+		t1 := time.Now()
+		fleet := newFleet(true)
+		fleet.RunTests(tests)
+		tFleet := time.Since(t1)
+
+		wantTraj, gotTraj := perShard.Trajectory(), fleet.Trajectory()
+		if len(wantTraj) != len(gotTraj) {
+			b.Fatalf("fleet-pool trajectory has %d points, per-shard has %d", len(gotTraj), len(wantTraj))
+		}
+		for j := range wantTraj {
+			if wantTraj[j] != gotTraj[j] {
+				b.Fatalf("fleet-pool trajectory diverges at round %d: %+v vs %+v", j, gotTraj[j], wantTraj[j])
+			}
+		}
+
+		st, ok := fleet.PoolStats()
+		if !ok {
+			b.Fatal("fleet run reported no pool stats")
+		}
+		b.ReportMetric(tShard.Seconds()/tFleet.Seconds(), "fleet_speedup_x")
+		b.ReportMetric(100*st.WorkerBusy.Seconds()/(float64(st.Workers)*tFleet.Seconds()), "pool_util_%")
+		b.ReportMetric(100*st.HelperBusy.Seconds()/tFleet.Seconds(), "helper_busy_%")
+		b.ReportMetric(float64(st.Stolen), "steals")
+		b.ReportMetric(float64(st.Migrations), "migrations")
+		ps, fs := perShard.ProbeSummary(), fleet.ProbeSummary()
+		if fs.BarrierWait > 0 {
+			b.ReportMetric(ps.BarrierWait.Seconds()/fs.BarrierWait.Seconds(), "barrier_shrink_x")
+		}
+		b.ReportMetric(fleet.Coverage(), "fleet_%")
+		perShard.Close()
+		fleet.Close()
+	}
+}
+
 // ---- Component throughput benchmarks ----
 
 // BenchmarkRocketSimulation measures DUT simulation throughput.

@@ -51,10 +51,16 @@
 // caches, coverage sets, trace buffers), committing results in
 // deterministic input order and double-buffering generation against
 // simulation. Options.Serial (and CampaignConfig.Serial) fall back to
-// the original fork-join loop; both paths are bit-identical, so the
-// switch only trades throughput. Call Fuzzer.Close (or
-// Orchestrator.Close) when a campaign is finished to release the
-// engine's workers deterministically.
+// the original fork-join loop, and CampaignConfig.FleetPool goes the
+// other way: one fleet-level work-stealing pool shared by every
+// shard, with design-affine workers that steal across shards and
+// designs when their own queue runs dry — the high-utilization layout
+// for skewed fleets (CampaignConfig.Probe records per-round barrier
+// wait and steal/migration counts, via Orchestrator.Probes and
+// ProbeSummary). All three paths are bit-identical, so the switch
+// only trades throughput. Call Fuzzer.Close (or Orchestrator.Close)
+// when a campaign is finished to release the engine's workers
+// deterministically.
 //
 // Mixed fleets: NewMixedOrchestrator runs heterogeneous designs in
 // one fleet — shard s simulates newDUTs[s%len(newDUTs)], each design
@@ -85,9 +91,11 @@
 //	w := o.LearnedWeights("chatfuzz-learn") // merged policy weights
 //
 // Detection-oriented scheduling: CampaignConfig.MismatchWeight blends
-// a mismatch-rate term into the bandit reward, steering rounds toward
-// generators that surface DUT-vs-golden divergences rather than raw
-// coverage alone.
+// a mismatch-novelty term into the bandit reward — growth of the
+// detector's non-filtered signature clusters per virtual hour, so a
+// noisy divergence repeating one signature pays once — steering
+// rounds toward generators that surface new kinds of DUT-vs-golden
+// divergences rather than raw coverage alone.
 package chatfuzz
 
 import (

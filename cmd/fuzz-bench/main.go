@@ -14,8 +14,13 @@
 // "rocket,boom") to run a mixed fleet whose shards alternate designs;
 // -parallel sets simulation workers per shard; -serial disables the
 // persistent batch execution engine and runs the reference fork-join
-// loop (both paths are bit-identical — the flag exists for
-// benchmarking and debugging).
+// loop; -fleetpool shares one fleet-level work-stealing execution
+// pool (design-affine workers) across every shard instead of
+// per-shard pools. All three execution paths are bit-identical — the
+// flags exist for benchmarking and debugging. -probe records and
+// prints per-round scheduler statistics (barrier wait, steals,
+// per-design migrations), the scale-probe mode for runs like
+// `fuzz-bench campaign -shards 32 -fleetpool -probe`.
 package main
 
 import (
@@ -45,6 +50,9 @@ func campaignMain(args []string) {
 		dutNames   = fs.String("dut", "rocket", "designs under test: comma list of rocket/boom; shards alternate designs")
 		parallel   = fs.Int("parallel", 1, "simulation workers per shard (0 = GOMAXPROCS)")
 		serial     = fs.Bool("serial", false, "run the reference fork-join loop instead of the batch execution engine")
+		fleetPool  = fs.Bool("fleetpool", false, "share one fleet-level work-stealing execution pool across every shard (design-affine workers; bit-identical to -serial and per-shard pools)")
+		poolWork   = fs.Int("pool-workers", 0, "fleet pool workers (0 = GOMAXPROCS; requires -fleetpool)")
+		probe      = fs.Bool("probe", false, "record and print per-round scheduler statistics: barrier wait, spread, steals, helps, per-design migrations")
 		llm        = fs.Bool("llm", false, "train a pipeline and schedule the frozen LLM arm")
 		learn      = fs.Bool("learn", false, "train a pipeline and schedule the online-learning LLM arm (per-shard replicas, barrier weight averaging); reports the coverage delta over an identical frozen-LLM fleet")
 		quickPipe  = fs.Bool("quickpipe", false, "train the tiny test-scale pipeline instead of the default one (smoke runs)")
@@ -128,6 +136,8 @@ func campaignMain(args []string) {
 				fmt.Printf("warning: -%s is ignored with -resume (the checkpoint's value is used)\n", f.Name)
 			case "serial":
 				fmt.Println("warning: -serial is ignored with -resume (resumed fleets run on the engine path)")
+			case "fleetpool", "pool-workers", "probe":
+				fmt.Printf("warning: -%s is ignored with -resume (execution details are not checkpointed; resumed fleets run per-shard engines)\n", f.Name)
 			}
 		})
 		o, err = campaign.ResumeMixedFile(*checkpoint, newDUTs, arms...)
@@ -142,6 +152,9 @@ func campaignMain(args []string) {
 			Seed:           *seed,
 			Parallel:       *parallel,
 			Serial:         *serial,
+			FleetPool:      *fleetPool,
+			PoolWorkers:    *poolWork,
+			Probe:          *probe,
 			Detect:         *detect,
 			MismatchWeight: *mweight,
 		}, newDUTs, arms...)
@@ -153,6 +166,13 @@ func campaignMain(args []string) {
 
 	o.RunTests(*tests)
 	fmt.Print(o.Report())
+	if *probe && !*resume {
+		fmt.Println(o.ProbeSummary())
+		if st, ok := o.PoolStats(); ok {
+			fmt.Printf("fleet pool: %d workers, %d jobs (%d stolen, %d helped), %d migrations\n",
+				st.Workers, st.Submitted, st.Stolen, st.Helped, st.Migrations)
+		}
+	}
 	// Use the orchestrator's own config here, not the flags: on -resume
 	// the checkpoint's shard count and detect setting win.
 	if o.Cfg.Detect {
@@ -186,6 +206,8 @@ func campaignMain(args []string) {
 			Seed:           *seed,
 			Parallel:       *parallel,
 			Serial:         *serial,
+			FleetPool:      *fleetPool,
+			PoolWorkers:    *poolWork,
 			Detect:         *detect,
 			MismatchWeight: *mweight,
 		}, newDUTs, frozenArms...)

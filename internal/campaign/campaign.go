@@ -26,11 +26,17 @@
 // Each shard executes its batches on a persistent pipelined engine
 // (internal/engine) with Config.Parallel workers and reusable scratch;
 // Config.Serial falls back to the fork-join reference loop, with
-// bit-identical results either way. Fleets may be heterogeneous:
-// NewMixed assigns designs to shards round-robin (e.g. Rocket+BOOM),
-// each design keeping its own fleet-merged coverage bitmap while the
-// bandit, virtual clock and TheHuzz pool sync span the whole fleet.
-// Call Close when done to release the shard engines.
+// bit-identical results either way. Config.FleetPool goes the other
+// direction: every shard submits into one fleet-level work-stealing
+// pool whose workers keep design-affine scratch and steal across
+// shards and designs, raising utilization on skewed fleets — still
+// bit-identical, because in-order commit per shard is preserved and
+// all randomness stays in the per-shard armSeed streams. Fleets may
+// be heterogeneous: NewMixed assigns designs to shards round-robin
+// (e.g. Rocket+BOOM), each design keeping its own fleet-merged
+// coverage bitmap while the bandit, virtual clock and TheHuzz pool
+// sync span the whole fleet. Call Close when done to release the
+// shard engines (and the fleet pool, which the orchestrator owns).
 package campaign
 
 import (
@@ -38,10 +44,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"chatfuzz/internal/baseline/thehuzz"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/cov"
+	"chatfuzz/internal/engine"
 	"chatfuzz/internal/fleetlearn"
 	"chatfuzz/internal/rtl"
 )
@@ -80,20 +88,44 @@ type Config struct {
 	// state is checkpointed (v3), so resumed fleets report cumulative
 	// findings across the pause.
 	Detect bool
-	// MismatchWeight blends a mismatch-rate term into the bandit
+	// MismatchWeight blends a mismatch-novelty term into the bandit
 	// reward: 0 (default) rewards coverage rate only, 1 rewards new
-	// non-filtered mismatches per virtual hour only, values between
-	// interpolate. Detection campaigns set this to steer scheduling
-	// toward trap-heavy generators; it has no effect without Detect.
+	// detector signatures per virtual hour only, values between
+	// interpolate. Novelty is measured as growth of the detector's
+	// non-filtered signature clusters, not raw mismatch count, so a
+	// noisy divergence that keeps firing the same signature is paid
+	// once and cannot farm reward. Detection campaigns set this to
+	// steer scheduling toward trap-heavy generators; it has no effect
+	// without Detect.
 	MismatchWeight float64
-	// MismatchHalf is the mismatch rate, in new non-filtered raw
-	// mismatches per virtual hour, at which the mismatch reward term
-	// reaches 0.5 (default 30). Like RewardHalf it only sets the
+	// MismatchHalf is the novelty rate, in new non-filtered mismatch
+	// signatures per virtual hour, at which the mismatch reward term
+	// reaches 0.5 (default 3; signatures are far rarer than the raw
+	// mismatches they cluster). Like RewardHalf it only sets the
 	// comparison scale.
 	MismatchHalf float64
 	// Parallel bounds simulation workers inside each shard (default
-	// 1: the shards themselves are the parallelism).
+	// 1: the shards themselves are the parallelism). Ignored with
+	// FleetPool.
 	Parallel int
+	// FleetPool replaces the per-shard execution pools with one
+	// fleet-level work-stealing pool shared by every shard: shards
+	// submit their rounds into per-design queues and the pool's
+	// workers — keyed by DUT design so reusable scratch keeps
+	// affinity — execute whatever still queues, stealing across
+	// designs when their own runs dry. Scheduling, commit order and
+	// every trajectory stay bit-identical to the per-shard and serial
+	// paths; only wall-clock utilization changes. Like Serial it is
+	// an execution detail excluded from checkpoints; resumed fleets
+	// run per-shard engines.
+	FleetPool bool `json:"-"`
+	// PoolWorkers bounds the fleet pool's workers (0 = GOMAXPROCS).
+	// Only meaningful with FleetPool.
+	PoolWorkers int `json:"-"`
+	// Probe records per-round scheduler statistics — barrier wait,
+	// finish-time spread, steal/help/migration counts — retrievable
+	// via Probes(). Measurement only; trajectories are unaffected.
+	Probe bool `json:"-"`
 	// Serial disables the persistent batch execution engine inside
 	// every shard and runs the original fork-join loop instead. Both
 	// paths are bit-identical; Serial exists for determinism tests and
@@ -121,7 +153,7 @@ func (c Config) withDefaults() Config {
 		c.BanditDecay = 0.9
 	}
 	if c.MismatchHalf <= 0 {
-		c.MismatchHalf = 30
+		c.MismatchHalf = 3
 	}
 	if c.Parallel <= 0 {
 		c.Parallel = 1
@@ -151,6 +183,11 @@ type Orchestrator struct {
 	// fleets[i] aggregates spec i's per-shard model replicas for
 	// barrier weight averaging; nil for non-learning arms.
 	fleets []*fleetlearn.Fleet
+	// pool is the fleet-level work-stealing execution pool
+	// (Config.FleetPool); the orchestrator owns it and closes it
+	// after the shard engines.
+	pool   *engine.FleetPool
+	probes []RoundProbe
 	merged []core.ProgressPoint
 	round  int
 	tests  int
@@ -185,11 +222,17 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 		}
 		seen[sp.Name] = true
 	}
+	if cfg.FleetPool && cfg.Serial {
+		return nil, fmt.Errorf("campaign: FleetPool requires the engine path (drop Serial)")
+	}
 	o := &Orchestrator{
 		Cfg:     cfg,
 		specs:   specs,
 		bandit:  NewUCB1(len(specs), cfg.ExploreC),
 		globals: make(map[string]*cov.Set),
+	}
+	if cfg.FleetPool {
+		o.pool = engine.NewFleetPool(engine.FleetConfig{Workers: cfg.PoolWorkers})
 	}
 	replicas := make([][]*fleetlearn.Replica, len(specs))
 	for s := 0; s < cfg.Shards; s++ {
@@ -225,10 +268,15 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 			Detect:    cfg.Detect,
 			Parallel:  cfg.Parallel,
 			Serial:    cfg.Serial,
+			Pool:      o.pool,
 		})
 		name := dut.Name()
 		if g, ok := o.globals[name]; ok {
 			if g.Space().NumBins() != dut.Space().NumBins() {
+				// Release this shard's just-built engine, the earlier
+				// shards' engines and the fleet pool before failing.
+				fuz.Close()
+				o.Close()
 				return nil, fmt.Errorf("campaign: DUTs named %q disagree on coverage bins (%d vs %d)",
 					name, g.Space().NumBins(), dut.Space().NumBins())
 			}
@@ -255,11 +303,16 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 	return o, nil
 }
 
-// Close releases every shard's execution engine. The orchestrator's
-// reports and trajectory stay readable; no further rounds may run.
+// Close releases every shard's execution engine, then the fleet pool
+// when one is shared (the orchestrator owns the pool, the shards only
+// submit into it). The orchestrator's reports and trajectory stay
+// readable; no further rounds may run.
 func (o *Orchestrator) Close() {
 	for _, s := range o.shards {
 		s.fuz.Close()
+	}
+	if o.pool != nil {
+		o.pool.Close()
 	}
 }
 
@@ -289,9 +342,19 @@ func (o *Orchestrator) RunRound() {
 	type delta struct {
 		tests int
 		hours float64
-		mis   int // new non-filtered raw mismatches (Detect only)
+		mis   int // new non-filtered mismatch signatures (Detect only)
 	}
 	deltas := make([]delta, n)
+	var probe *RoundProbe
+	var finished []time.Time
+	var stats0 engine.FleetStats
+	if o.Cfg.Probe {
+		probe = &RoundProbe{Round: o.round}
+		finished = make([]time.Time, n)
+		if o.pool != nil {
+			stats0 = o.pool.Stats()
+		}
+	}
 	var wg sync.WaitGroup
 	for i, s := range o.shards {
 		wg.Add(1)
@@ -302,18 +365,51 @@ func (o *Orchestrator) RunRound() {
 			t0, h0 := s.fuz.Tests, s.fuz.Clk.Hours()
 			m0 := 0
 			if d := s.fuz.Det; d != nil {
-				m0 = d.RawCount - d.FilteredRaw
+				// Novelty, not volume: reward only cluster growth, so a
+				// noisy divergence repeating one signature pays once.
+				m0 = d.NovelSignatures()
 			}
 			for b := 0; b < o.Cfg.RoundBatches; b++ {
 				s.fuz.RunBatch()
 			}
 			deltas[i] = delta{tests: s.fuz.Tests - t0, hours: s.fuz.Clk.Hours() - h0}
 			if d := s.fuz.Det; d != nil {
-				deltas[i].mis = d.RawCount - d.FilteredRaw - m0
+				deltas[i].mis = d.NovelSignatures() - m0
+			}
+			if finished != nil {
+				finished[i] = time.Now()
 			}
 		}(i, s)
 	}
 	wg.Wait()
+	if probe != nil {
+		first, last := finished[0], finished[0]
+		for _, ts := range finished[1:] {
+			if ts.Before(first) {
+				first = ts
+			}
+			if ts.After(last) {
+				last = ts
+			}
+		}
+		for _, ts := range finished {
+			probe.BarrierWait += last.Sub(ts)
+		}
+		probe.Spread = last.Sub(first)
+		if o.pool != nil {
+			st := o.pool.Stats()
+			probe.Steals = st.Stolen - stats0.Stolen
+			probe.Helped = st.Helped - stats0.Helped
+			probe.Migrations = st.Migrations - stats0.Migrations
+			probe.MigrationsByDesign = make(map[string]int)
+			for name, m := range st.MigrationsByDesign {
+				if d := m - stats0.MigrationsByDesign[name]; d > 0 {
+					probe.MigrationsByDesign[name] = d
+				}
+			}
+		}
+		o.probes = append(o.probes, *probe)
+	}
 
 	// Barrier: merge bitmaps and credit the bandit in shard order.
 	for i, s := range o.shards {
@@ -359,9 +455,10 @@ func (o *Orchestrator) RunRound() {
 }
 
 // reward squashes a shard-round's coverage rate (new merged bins per
-// virtual hour) — and, when MismatchWeight is set, its mismatch rate —
-// into the bandit's [0, 1) reward. RewardHalf and MismatchHalf are the
-// half-saturation points of the two terms.
+// virtual hour) — and, when MismatchWeight is set, its mismatch
+// novelty rate (new non-filtered detector signatures per virtual
+// hour) — into the bandit's [0, 1) reward. RewardHalf and
+// MismatchHalf are the half-saturation points of the two terms.
 func (c Config) reward(covRate, misRate float64) float64 {
 	r := covRate / (covRate + c.RewardHalf)
 	// Without detection misRate is identically zero; skipping the blend

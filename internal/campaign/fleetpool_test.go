@@ -1,0 +1,273 @@
+package campaign
+
+// Tests for the fleet-level work-stealing execution pool: the
+// three-way execution-path determinism tables, the scale/skew probe,
+// and the mismatch-novelty reward.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/isa"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/mismatch"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/trace"
+)
+
+// execPath names one of the three execution paths a fleet can run on.
+type execPath struct {
+	name string
+	set  func(*Config)
+}
+
+var execPaths = []execPath{
+	{"serial", func(c *Config) { c.Serial = true }},
+	{"per-shard-pool", func(c *Config) {}},
+	{"fleet-pool", func(c *Config) { c.FleetPool = true; c.PoolWorkers = 3 }},
+}
+
+// TestFleetPoolDeterminismTable is the acceptance property of the
+// fleet pool: across shard counts, homogeneous and mixed fleets, and
+// frozen and learning arms, the serial loop, the per-shard pools and
+// the fleet-level work-stealing pool produce bit-identical merged
+// trajectories and byte-identical checkpoints.
+func TestFleetPoolDeterminismTable(t *testing.T) {
+	duts := map[string][]func() rtl.DUT{
+		"homogeneous": {newRocket},
+		"mixed":       {newRocket, newBoom},
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for fleetName, newDUTs := range duts {
+			for _, learn := range []bool{false, true} {
+				name := fmt.Sprintf("shards=%d/%s/learn=%v", shards, fleetName, learn)
+				t.Run(name, func(t *testing.T) {
+					rounds := 3
+					if shards == 16 {
+						rounds = 2 // keep the big fleets cheap
+					}
+					run := func(p execPath) ([]core.ProgressPoint, []byte) {
+						cfg := Config{Shards: shards, BatchSize: 4, Seed: 33, Detect: true}
+						p.set(&cfg)
+						var arms []ArmSpec
+						if learn {
+							arms = learnArms(learnPipeline())
+						} else {
+							arms = testArms()
+						}
+						o, err := NewMixed(cfg, newDUTs, arms...)
+						if err != nil {
+							t.Fatalf("%s: NewMixed: %v", p.name, err)
+						}
+						defer o.Close()
+						o.RunRounds(rounds)
+						var buf bytes.Buffer
+						if err := o.Checkpoint(&buf); err != nil {
+							t.Fatalf("%s: Checkpoint: %v", p.name, err)
+						}
+						return o.Trajectory(), buf.Bytes()
+					}
+					wantTraj, wantCkpt := run(execPaths[0])
+					for _, p := range execPaths[1:] {
+						traj, ckpt := run(p)
+						if len(traj) != len(wantTraj) {
+							t.Fatalf("%s trajectory has %d points, serial has %d", p.name, len(traj), len(wantTraj))
+						}
+						for i := range wantTraj {
+							if traj[i] != wantTraj[i] {
+								t.Fatalf("%s trajectory diverges from serial at round %d: %+v vs %+v",
+									p.name, i, traj[i], wantTraj[i])
+							}
+						}
+						if !bytes.Equal(ckpt, wantCkpt) {
+							t.Errorf("%s checkpoint differs from the serial checkpoint", p.name)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// slowDUT wraps a DUT under a distinct design name and sleeps before
+// every run, modelling a rig whose simulator is slower than its
+// siblings'. It deliberately does not implement rtl.ReusableDUT, so
+// the engine falls back to DUT.Run — the conservative path.
+type slowDUT struct {
+	rtl.DUT
+	delay time.Duration
+}
+
+func (s *slowDUT) Name() string { return s.DUT.Name() + "-slow" }
+
+func (s *slowDUT) Run(img mem.Image, maxInsts int) rtl.Result {
+	time.Sleep(s.delay)
+	return s.DUT.Run(img, maxInsts)
+}
+
+// TestFleetPoolShrinksBarrierWait is the skew probe: on a fleet whose
+// shards alternate a fast and a deliberately slow design, the shared
+// work-stealing pool must cut the time shards idle at the aggregation
+// barrier versus per-shard pools, because idle shards' committers and
+// the pool's workers execute the slow design's queue concurrently.
+// The test observes wall-clock, but the sleep-based skew (2ms per
+// slow test, 8 tests per shard-round) keeps scheduling noise far
+// below the signal, and sleeps overlap even on a single-core runner.
+func TestFleetPoolShrinksBarrierWait(t *testing.T) {
+	newSlow := func() rtl.DUT { return &slowDUT{DUT: newRocket(), delay: 2 * time.Millisecond} }
+	run := func(fleet bool) (ProbeSummary, []core.ProgressPoint) {
+		cfg := Config{Shards: 4, BatchSize: 8, Seed: 35, Probe: true}
+		if fleet {
+			cfg.FleetPool = true
+			cfg.PoolWorkers = 4
+		}
+		o, err := NewMixed(cfg, []func() rtl.DUT{newRocket, newSlow}, testArms()...)
+		if err != nil {
+			t.Fatalf("NewMixed: %v", err)
+		}
+		defer o.Close()
+		o.RunRounds(3)
+		return o.ProbeSummary(), o.Trajectory()
+	}
+
+	perShard, shardTraj := run(false)
+	fleet, fleetTraj := run(true)
+	t.Logf("per-shard pools: %v", perShard)
+	t.Logf("fleet pool:      %v", fleet)
+
+	// The skew is real in both runs; the pool must absorb it. The
+	// typical shrink is ~2x; asserting only a 25% cut keeps scheduler
+	// noise on loaded CI runners out of the verdict.
+	if fleet.BarrierWait >= perShard.BarrierWait*3/4 {
+		t.Errorf("fleet pool barrier wait %v did not shrink vs per-shard %v (want < 3/4)",
+			fleet.BarrierWait, perShard.BarrierWait)
+	}
+	if fleet.Steals+fleet.Helped == 0 {
+		t.Error("fleet run recorded no steals or helps; the pool was idle")
+	}
+	if perShard.Steals != 0 || perShard.Helped != 0 {
+		t.Error("per-shard run recorded pool activity")
+	}
+	// Probing and pooling must not perturb the trajectory.
+	if len(shardTraj) != len(fleetTraj) {
+		t.Fatalf("trajectories have %d vs %d points", len(shardTraj), len(fleetTraj))
+	}
+	for i := range shardTraj {
+		if shardTraj[i] != fleetTraj[i] {
+			t.Errorf("trajectory diverges at round %d under the fleet pool", i)
+		}
+	}
+}
+
+// TestFleetPoolConfigValidation: the fleet pool is an engine-path
+// feature and must refuse the serial loop rather than silently
+// ignoring one of the two flags.
+func TestFleetPoolConfigValidation(t *testing.T) {
+	_, err := New(Config{Serial: true, FleetPool: true}, newRocket, testArms()...)
+	if err == nil {
+		t.Fatal("New accepted Serial together with FleetPool")
+	}
+}
+
+// TestPoolStatsAccessor: PoolStats reports only when a fleet pool is
+// actually running.
+func TestPoolStatsAccessor(t *testing.T) {
+	o, err := New(Config{Shards: 2, BatchSize: 4, Seed: 37, FleetPool: true}, newRocket, testArms()...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	o.RunRounds(2)
+	st, ok := o.PoolStats()
+	if !ok {
+		t.Fatal("PoolStats reported no pool on a FleetPool fleet")
+	}
+	if st.Submitted != 2*2*4 {
+		t.Errorf("pool saw %d jobs, want %d", st.Submitted, 2*2*4)
+	}
+	o.Close()
+
+	o2 := mustNew(t, Config{Shards: 2, BatchSize: 4, Seed: 37})
+	defer o2.Close()
+	if _, ok := o2.PoolStats(); ok {
+		t.Error("PoolStats reported a pool on a per-shard fleet")
+	}
+}
+
+// TestMismatchNoveltyReward is the reward-table test for the
+// signature-novelty blend: a noisy divergence that keeps repeating
+// one signature earns the mismatch term exactly once, while each
+// genuinely new cluster earns again — the raw-count scheme this
+// replaces paid out on every repeat.
+func TestMismatchNoveltyReward(t *testing.T) {
+	// Two divergence flavours with stable, distinct signatures: an
+	// rd-value mismatch on an ADD, and a trap-presence mismatch. The
+	// detector clusters by (kind, opcode, fingerprint), so repeats of
+	// the first are one cluster regardless of how often they fire.
+	golden := trace.Entry{PC: 0x8000_0000, Raw: 0x33, Op: isa.OpADD,
+		RdValid: true, Rd: 5, RdVal: 1}
+	noisy := golden
+	noisy.RdVal = 2 // same signature every time: rd-value|add
+	trapGolden := trace.Entry{PC: 0x8000_0004, Raw: 0x33, Op: isa.OpADD}
+	trapDUT := trapGolden
+	trapDUT.Trap = true
+	trapDUT.Cause = 2
+
+	cfg := Config{Detect: true, MismatchWeight: 1}.withDefaults()
+	d := mismatch.NewDetector()
+
+	type round struct {
+		name string
+		feed func(test int)
+		// wantReward is whether the round's novelty delta must earn a
+		// non-zero mismatch reward; wantRaw asserts the raw counter
+		// kept moving (what the old scheme paid on).
+		wantReward bool
+		wantRawNew int
+	}
+	rounds := []round{
+		{"first noisy divergence", func(n int) {
+			d.Analyze(n, []trace.Entry{noisy}, []trace.Entry{golden})
+		}, true, 1},
+		{"same divergence repeated 10x", func(n int) {
+			for k := 0; k < 10; k++ {
+				d.Analyze(n+k, []trace.Entry{noisy}, []trace.Entry{golden})
+			}
+		}, false, 10},
+		{"new trap cluster", func(n int) {
+			d.Analyze(n, []trace.Entry{trapDUT}, []trace.Entry{trapGolden})
+		}, true, 1},
+		{"both repeated again", func(n int) {
+			d.Analyze(n, []trace.Entry{noisy}, []trace.Entry{golden})
+			d.Analyze(n+1, []trace.Entry{trapDUT}, []trace.Entry{trapGolden})
+		}, false, 2},
+	}
+
+	test := 1
+	for _, rd := range rounds {
+		t.Run(rd.name, func(t *testing.T) {
+			m0 := d.NovelSignatures()
+			raw0 := d.RawCount - d.FilteredRaw
+			rd.feed(test)
+			test += 16
+			novel := d.NovelSignatures() - m0
+			rawNew := d.RawCount - d.FilteredRaw - raw0
+			if rawNew != rd.wantRawNew {
+				t.Fatalf("raw non-filtered mismatches grew by %d, want %d", rawNew, rd.wantRawNew)
+			}
+			// One virtual hour per round keeps rates equal to counts.
+			reward := cfg.reward(0, float64(novel)/1.0)
+			if rd.wantReward && reward <= 0 {
+				t.Errorf("novel cluster earned reward %v, want > 0", reward)
+			}
+			if !rd.wantReward {
+				if reward != 0 {
+					t.Errorf("repeat-only round earned reward %v, want 0 (raw scheme would have paid on %d repeats)",
+						reward, rawNew)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"chatfuzz/internal/engine"
+)
+
+// RoundProbe is one round's scheduler measurement (Config.Probe): how
+// long shards idled at the aggregation barrier and how much the fleet
+// pool stole, helped and migrated to keep them from idling. Probes
+// are wall-clock observations only — they never influence scheduling,
+// so probed and unprobed runs produce identical trajectories.
+type RoundProbe struct {
+	Round int
+	// BarrierWait is the summed time shards spent finished-but-waiting
+	// at the barrier: Σ over shards of (last finish − shard finish).
+	// It is the round's wasted rig time; the fleet pool exists to
+	// shrink it on skewed fleets.
+	BarrierWait time.Duration
+	// Spread is last finish − first finish: the skew of the round.
+	Spread time.Duration
+	// Steals, Helped and Migrations are the fleet pool's per-round
+	// scheduling deltas (zero on the per-shard and serial paths).
+	Steals     int
+	Helped     int
+	Migrations int
+	// MigrationsByDesign counts this round's scratch migrations per
+	// destination design.
+	MigrationsByDesign map[string]int
+}
+
+// Probes returns the per-round scheduler measurements recorded so far
+// (Config.Probe only).
+func (o *Orchestrator) Probes() []RoundProbe {
+	out := make([]RoundProbe, len(o.probes))
+	copy(out, o.probes)
+	return out
+}
+
+// PoolStats returns the fleet pool's cumulative scheduling counters,
+// or false when the fleet runs on per-shard engines.
+func (o *Orchestrator) PoolStats() (engine.FleetStats, bool) {
+	if o.pool == nil {
+		return engine.FleetStats{}, false
+	}
+	return o.pool.Stats(), true
+}
+
+// ProbeSummary aggregates the recorded probes.
+type ProbeSummary struct {
+	Rounds      int
+	BarrierWait time.Duration // summed over rounds
+	Spread      time.Duration // summed over rounds
+	Steals      int
+	Helped      int
+	Migrations  int
+	// MigrationsByDesign sums per-design migrations over all rounds.
+	MigrationsByDesign map[string]int
+}
+
+// ProbeSummary sums the per-round probes into one report.
+func (o *Orchestrator) ProbeSummary() ProbeSummary {
+	s := ProbeSummary{Rounds: len(o.probes), MigrationsByDesign: make(map[string]int)}
+	for _, p := range o.probes {
+		s.BarrierWait += p.BarrierWait
+		s.Spread += p.Spread
+		s.Steals += p.Steals
+		s.Helped += p.Helped
+		s.Migrations += p.Migrations
+		for name, n := range p.MigrationsByDesign {
+			s.MigrationsByDesign[name] += n
+		}
+	}
+	return s
+}
+
+// String renders the summary as a short report.
+func (s ProbeSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "probe: %d rounds, barrier wait %v (spread %v), %d steals, %d helped, %d migrations",
+		s.Rounds, s.BarrierWait.Round(time.Microsecond), s.Spread.Round(time.Microsecond),
+		s.Steals, s.Helped, s.Migrations)
+	if len(s.MigrationsByDesign) > 0 {
+		names := make([]string, 0, len(s.MigrationsByDesign))
+		for n := range s.MigrationsByDesign {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "\n  migrations to %-8s %d", n, s.MigrationsByDesign[n])
+		}
+	}
+	return b.String()
+}

@@ -31,8 +31,16 @@ type Options struct {
 	Detect bool
 	// Clock, when nil, defaults to the calibrated VCS clock.
 	Clock *vtime.Clock
-	// Parallel bounds simulation workers (0 = GOMAXPROCS).
+	// Parallel bounds simulation workers (0 = GOMAXPROCS). Ignored
+	// when Pool is set.
 	Parallel int
+	// Pool, when non-nil, makes the fuzzer's engine a lightweight
+	// submitter into a shared fleet-level work-stealing pool instead
+	// of owning workers. Ownership does not transfer: Close releases
+	// the fuzzer's engine but never the pool, which belongs to
+	// whoever built it (typically the campaign orchestrator, which
+	// closes it after every shard). Ignored with Serial.
+	Pool *engine.FleetPool
 	// Serial disables the persistent batch execution engine and runs
 	// the original fork-join loop: a goroutine pool spawned per round,
 	// per-test scratch allocation, and generation strictly serialized
@@ -101,7 +109,7 @@ func NewFuzzer(gen Generator, dut rtl.DUT, opts Options) *Fuzzer {
 		f.Det = mismatch.NewDetector()
 	}
 	if !opts.Serial {
-		f.eng = engine.New(dut, engine.Config{Workers: opts.Parallel, Detect: opts.Detect})
+		f.eng = engine.New(dut, engine.Config{Workers: opts.Parallel, Detect: opts.Detect, Pool: opts.Pool})
 	}
 	return f
 }

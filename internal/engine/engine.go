@@ -35,6 +35,12 @@
 // shards themselves are the parallelism) the engine short-circuits the
 // channels entirely and executes jobs inline during Each, keeping the
 // scratch-reuse benefits without any cross-goroutine traffic.
+//
+// Sharded fleets can go one step further and share a single
+// fleet-level work-stealing pool across every shard engine
+// (Config.Pool; see the FleetPool documentation in fleetpool.go for
+// the affinity queues, steal policy, helping committers and the
+// commit-order invariant that keeps stealing bit-identical).
 package engine
 
 import (
@@ -51,9 +57,18 @@ import (
 // Config parameterises an engine.
 type Config struct {
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	// Ignored when Pool is set: the fleet pool's workers execute
+	// every round.
 	Workers int
 	// Detect additionally runs every test on the golden-model ISS.
 	Detect bool
+	// Pool, when non-nil, turns the engine into a lightweight
+	// submitter into the shared fleet-level work-stealing pool: the
+	// engine spawns no workers of its own, and Close releases only
+	// the engine, never the pool (the pool is owned by whoever built
+	// it). See the FleetPool documentation for the affinity, commit
+	// order and determinism contract.
+	Pool *FleetPool
 }
 
 // Outcome is the execution result of one program of a round.
@@ -103,36 +118,73 @@ func (p *pool[T]) put(it T) {
 // an abandoned engine reachable: once the engine (and its owner) are
 // garbage, the Close finalizer fires, stops the workers, and the
 // shared state is collected with them.
+//
+// The scratch pools (coverage sets, trace buffers) stay per engine
+// even under a fleet pool: a cov.Set is bound to its shard's coverage
+// Space (the calculator merges by Space identity), so sets must not
+// wander between shards. The expensive design-level scratch — the
+// rtl.Runner and the golden-model memory — lives on the workers
+// instead, keyed by design name.
 type shared struct {
 	dut    rtl.DUT
+	design string // dut.Name(), the fleet pool's affinity key
 	detect bool
+	pool   *poolState // nil outside fleet mode
+	helper *worker    // committer-side scratch (fleet mode; only the
+	// engine's single committer goroutine touches it)
 
 	sets    pool[*cov.Set]
 	traces  pool[[]trace.Entry]
 	goldens pool[[]trace.Entry]
 }
 
-// worker is one simulation context: the per-worker reusable scratch.
+// worker is one simulation context: reusable scratch bound to one
+// design at a time. The golden-model platform memory is design-
+// independent and lives for the worker's whole life; runners are
+// design-specific and cached per design on first build, so a
+// migration back to a previously served design re-binds for free.
 type worker struct {
-	sh     *shared
-	runner rtl.Runner  // non-nil when the DUT is reusable
-	gmem   *mem.Memory // golden-model platform memory (Detect only)
+	cur     string // claim-time design affinity (fleet pool scheduling)
+	bound   string // design of the currently bound runner
+	runner  rtl.Runner
+	runners map[string]rtl.Runner // design → cached runner (nil entries
+	// mark designs whose DUT is not reusable)
+	gmem *mem.Memory // golden-model platform memory, lazily built
 }
 
 func newWorker(sh *shared) *worker {
-	w := &worker{sh: sh}
-	if rd, ok := sh.dut.(rtl.ReusableDUT); ok {
-		w.runner = rd.NewRunner()
-	}
-	if sh.detect {
-		w.gmem = mem.Platform()
-	}
+	w := &worker{}
+	w.bind(sh)
 	return w
 }
 
+// bind points the worker's scratch at sh's design, building the
+// design's runner on first encounter. Only a change of design does
+// any work — the migration the fleet pool's steal policy minimises.
+func (w *worker) bind(sh *shared) {
+	if w.bound == sh.design && w.runners != nil {
+		return
+	}
+	if w.runners == nil {
+		w.runners = make(map[string]rtl.Runner, 1)
+	}
+	r, ok := w.runners[sh.design]
+	if !ok {
+		if rd, reusable := sh.dut.(rtl.ReusableDUT); reusable {
+			r = rd.NewRunner()
+		}
+		w.runners[sh.design] = r
+	}
+	w.bound, w.runner = sh.design, r
+}
+
 // exec runs one program end to end: build, DUT simulation, and (when
-// detection is on) the golden-model reference run.
+// detection is on) the golden-model reference run. All scratch that
+// outlives exec (the coverage set and trace buffers referenced by the
+// Outcome) comes from the submitting engine's pools; the worker-owned
+// runner and golden memory are reset per run.
 func (w *worker) exec(r *Round, i int) {
+	sh := r.sh
 	o := &r.outs[i]
 	*o = Outcome{}
 	p := r.progs[i]
@@ -143,22 +195,42 @@ func (w *worker) exec(r *Round, i int) {
 		return
 	}
 	budget := prog.InstructionBudget(len(p.Body))
+	if ck := scratchCheck.Load(); ck != nil {
+		ck.useBegin(w, "worker")
+		defer ck.useEnd(w)
+	}
 	if w.runner != nil {
-		set, ok := w.sh.sets.get()
+		set, ok := sh.sets.get()
 		if ok {
 			set.Reset()
+			if ck := scratchCheck.Load(); ck != nil {
+				ck.checkOut(set, "cov set")
+			}
 		} else {
-			set = w.sh.dut.Space().NewSet()
+			set = sh.dut.Space().NewSet()
 		}
-		tr, _ := w.sh.traces.get()
+		tr, ok := sh.traces.get()
+		if ok {
+			if ck := scratchCheck.Load(); ck != nil {
+				ck.checkOut(sliceKey(tr), "trace buffer")
+			}
+		}
 		o.Res = w.runner.RunScratch(img, budget, set, tr)
 		o.pooledRes = true
 	} else {
-		o.Res = w.sh.dut.Run(img, budget)
+		o.Res = sh.dut.Run(img, budget)
 	}
-	if w.sh.detect {
+	if sh.detect {
+		if w.gmem == nil {
+			w.gmem = mem.Platform()
+		}
 		w.gmem.Reset()
-		buf, _ := w.sh.goldens.get()
+		buf, ok := sh.goldens.get()
+		if ok {
+			if ck := scratchCheck.Load(); ck != nil {
+				ck.checkOut(sliceKey(buf), "golden buffer")
+			}
+		}
 		o.Golden = GoldenRun(w.gmem, img, budget, buf)
 		o.pooledGolden = true
 	}
@@ -192,17 +264,31 @@ type Engine struct {
 // A finalizer closes abandoned engines as a safety net, so a leaked
 // engine degrades to garbage, not to a goroutine leak.
 func New(dut rtl.DUT, cfg Config) *Engine {
+	e := &Engine{
+		sh:   &shared{dut: dut, design: dut.Name(), detect: cfg.Detect},
+		stop: make(chan struct{}),
+	}
+	e.round.cond = sync.NewCond(&e.round.mu)
+	e.round.sh = e.sh
+	if cfg.Pool != nil {
+		// Fleet mode: the engine is a submitter; the shared pool's
+		// workers (and this engine's helping committer) execute the
+		// rounds. No goroutines are owned, so Close releases nothing
+		// but the Submit guard.
+		e.sh.pool = cfg.Pool.ps
+		// The helper's claim affinity starts at the engine's own
+		// design so a committer's first help prefers its own round's
+		// queue instead of stealing from the longest one.
+		e.sh.helper = &worker{cur: e.sh.design}
+		e.workers = cfg.Pool.Workers()
+		runtime.SetFinalizer(e, (*Engine).Close)
+		return e
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{
-		sh:      &shared{dut: dut, detect: cfg.Detect},
-		workers: workers,
-		stop:    make(chan struct{}),
-	}
-	e.round.cond = sync.NewCond(&e.round.mu)
-	e.round.sh = e.sh
+	e.workers = workers
 	if workers == 1 {
 		e.inline = newWorker(e.sh)
 		e.round.inline = e.inline
@@ -269,7 +355,13 @@ func (e *Engine) Submit(progs []prog.Program) *Round {
 		r.ready[i] = false
 	}
 	r.inFlight = true
-	if e.inline == nil {
+	switch {
+	case e.sh.pool != nil:
+		// Fleet mode: enqueue the whole round on the design's queue in
+		// one shot; Submit returns immediately and the caller is free
+		// to generate the next round while workers drain this one.
+		e.sh.pool.submit(r)
+	case e.inline == nil:
 		// Feed the pool without blocking Submit: the caller's goroutine
 		// is the generator/committer and must stay available.
 		go func() {
@@ -319,9 +411,15 @@ func (r *Round) markReady(i int) {
 // copies entries by value, so the fuzzing loop needs no copies).
 func (r *Round) Each(fn func(i int, o *Outcome)) {
 	for i := range r.outs {
-		if r.inline != nil {
+		switch {
+		case r.inline != nil:
 			r.inline.exec(r, i)
-		} else {
+		case r.sh.pool != nil:
+			// Fleet mode: help execute still-queued jobs (any shard,
+			// own design first) instead of sleeping while entry i is
+			// in flight.
+			r.sh.pool.await(r, i)
+		default:
 			r.mu.Lock()
 			for !r.ready[i] {
 				r.cond.Wait()
@@ -338,13 +436,23 @@ func (r *Round) Each(fn func(i int, o *Outcome)) {
 
 // recycle returns an outcome's pooled scratch to the free lists.
 func (sh *shared) recycle(o *Outcome) {
+	ck := scratchCheck.Load()
 	if o.pooledRes {
 		if o.Res.Coverage != nil {
+			if ck != nil {
+				ck.checkIn(o.Res.Coverage, "cov set")
+			}
 			sh.sets.put(o.Res.Coverage)
+		}
+		if ck != nil {
+			ck.checkIn(sliceKey(o.Res.Trace), "trace buffer")
 		}
 		sh.traces.put(o.Res.Trace[:0])
 	}
 	if o.pooledGolden {
+		if ck != nil {
+			ck.checkIn(sliceKey(o.Golden), "golden buffer")
+		}
 		sh.goldens.put(o.Golden[:0])
 	}
 	*o = Outcome{}

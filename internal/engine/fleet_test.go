@@ -1,0 +1,282 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"chatfuzz/internal/engine"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/boom"
+	"chatfuzz/internal/rtl/rocket"
+)
+
+// TestFleetPoolOutcomesMatchDirectRun drives a mixed-design fleet of
+// submitter engines over one shared work-stealing pool and checks
+// every outcome against the allocating reference execution — the
+// fleet-mode analogue of TestEngineOutcomesMatchDirectRun, proving
+// that stealing, design migration and helping committers leave every
+// observable result bit-identical.
+func TestFleetPoolOutcomesMatchDirectRun(t *testing.T) {
+	pool := engine.NewFleetPool(engine.FleetConfig{Workers: 3})
+	defer pool.Close()
+
+	duts := []rtl.DUT{rocket.New(), boom.New(), rocket.New(), boom.New()}
+	refs := []rtl.DUT{rocket.New(), boom.New(), rocket.New(), boom.New()}
+	engines := make([]*engine.Engine, len(duts))
+	for i, d := range duts {
+		engines[i] = engine.New(d, engine.Config{Detect: true, Pool: pool})
+		defer engines[i].Close()
+	}
+
+	var wg sync.WaitGroup
+	for s := range engines {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				progs := testProgs(int64(500+10*s+round), 6, 18)
+				engines[s].Submit(progs).Each(func(i int, o *engine.Outcome) {
+					if o.Err != nil {
+						t.Errorf("shard %d round %d test %d: build error %v", s, round, i, o.Err)
+						return
+					}
+					wantRes, wantGolden := reference(refs[s], progs[i])
+					if o.Res.Cycles != wantRes.Cycles || o.Res.Halted != wantRes.Halted ||
+						o.Res.ExitCode != wantRes.ExitCode || o.Res.Regs != wantRes.Regs {
+						t.Errorf("shard %d round %d test %d: result diverged from reference", s, round, i)
+					}
+					if !reflect.DeepEqual(o.Res.Trace, wantRes.Trace) {
+						t.Errorf("shard %d round %d test %d: DUT trace diverged", s, round, i)
+					}
+					if !reflect.DeepEqual(o.Res.Coverage.Snapshot(), wantRes.Coverage.Snapshot()) {
+						t.Errorf("shard %d round %d test %d: coverage diverged", s, round, i)
+					}
+					if !reflect.DeepEqual(o.Golden, wantGolden) {
+						t.Errorf("shard %d round %d test %d: golden trace diverged", s, round, i)
+					}
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	if st.Submitted != 4*3*6 {
+		t.Errorf("pool saw %d submitted jobs, want %d", st.Submitted, 4*3*6)
+	}
+	if st.Executed+st.Helped != st.Submitted {
+		t.Errorf("executed %d + helped %d != submitted %d", st.Executed, st.Helped, st.Submitted)
+	}
+}
+
+// TestFleetPoolStealStress is the steal-path race test: many shards ×
+// tiny batches × forced migrations (a single pool worker bouncing
+// between designs, plus every committer helping), with the scratch-
+// ownership checker armed, asserting no runner, golden memory,
+// coverage set or trace buffer is ever observed by two execution
+// contexts concurrently. Run under -race in CI.
+func TestFleetPoolStealStress(t *testing.T) {
+	stop := engine.EnableScratchCheck()
+	violations := func() []string { return stop() }
+
+	pool := engine.NewFleetPool(engine.FleetConfig{Workers: 1})
+	const shards, rounds, batch = 8, 6, 3
+
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			// Alternate designs shard-by-shard so the lone pool worker
+			// (and every helping committer) migrates constantly.
+			var dut rtl.DUT
+			if s%2 == 0 {
+				dut = rocket.New()
+			} else {
+				dut = boom.New()
+			}
+			e := engine.New(dut, engine.Config{Detect: true, Pool: pool})
+			defer e.Close()
+			for round := 0; round < rounds; round++ {
+				progs := testProgs(int64(9000+100*s+round), batch, 10)
+				got := 0
+				e.Submit(progs).Each(func(i int, o *engine.Outcome) {
+					if o.Err == nil && o.Res.Cycles > 0 {
+						got++
+					}
+				})
+				if got != batch {
+					t.Errorf("shard %d round %d: %d/%d outcomes", s, round, got, batch)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	pool.Close()
+	if st.Executed+st.Helped != st.Submitted {
+		t.Errorf("executed %d + helped %d != submitted %d", st.Executed, st.Helped, st.Submitted)
+	}
+	for _, v := range violations() {
+		t.Errorf("scratch ownership violated: %s", v)
+	}
+}
+
+// TestFleetPoolForcedMigrations starves the committers (they sleep
+// between Submit and Each) so the single pool worker must execute
+// alternating rocket and boom rounds itself, re-binding its scratch
+// on every design flip; asserts migrations are counted per design and
+// the scratch checker stays clean across the re-binds.
+func TestFleetPoolForcedMigrations(t *testing.T) {
+	stop := engine.EnableScratchCheck()
+	pool := engine.NewFleetPool(engine.FleetConfig{Workers: 1})
+
+	engines := []*engine.Engine{
+		engine.New(rocket.New(), engine.Config{Detect: true, Pool: pool}),
+		engine.New(boom.New(), engine.Config{Detect: true, Pool: pool}),
+	}
+	for round := 0; round < 6; round++ {
+		e := engines[round%2]
+		r := e.Submit(testProgs(int64(3000+round), 3, 10))
+		// Give the pool worker the whole round: with the committer
+		// asleep, nothing helps, so the worker claims every job and
+		// migrates at each design flip.
+		time.Sleep(100 * time.Millisecond)
+		got := 0
+		r.Each(func(i int, o *engine.Outcome) {
+			if o.Err == nil && o.Res.Cycles > 0 {
+				got++
+			}
+		})
+		if got != 3 {
+			t.Fatalf("round %d: %d/3 outcomes", round, got)
+		}
+	}
+	st := pool.Stats()
+	for _, e := range engines {
+		e.Close()
+	}
+	pool.Close()
+
+	if st.Migrations == 0 {
+		t.Error("alternating designs forced no migrations")
+	}
+	byDesign := 0
+	for _, n := range st.MigrationsByDesign {
+		byDesign += n
+	}
+	if byDesign != st.Migrations {
+		t.Errorf("per-design migration counts sum to %d, total is %d", byDesign, st.Migrations)
+	}
+	for _, v := range stop() {
+		t.Errorf("scratch ownership violated: %s", v)
+	}
+}
+
+// TestFleetPoolMatchesPerShardEngines: the same fixed batches produce
+// byte-identical coverage and traces whether each engine owns its
+// workers or all engines share a fleet pool.
+func TestFleetPoolMatchesPerShardEngines(t *testing.T) {
+	type key struct{ shard, round, i int }
+	run := func(pool *engine.FleetPool) map[key][]uint64 {
+		out := make(map[key][]uint64)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for s := 0; s < 3; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				cfg := engine.Config{Workers: 2}
+				if pool != nil {
+					cfg = engine.Config{Pool: pool}
+				}
+				e := engine.New(rocket.New(), cfg)
+				defer e.Close()
+				for round := 0; round < 2; round++ {
+					progs := testProgs(int64(40+10*s+round), 5, 14)
+					e.Submit(progs).Each(func(i int, o *engine.Outcome) {
+						mu.Lock()
+						out[key{s, round, i}] = o.Res.Coverage.Snapshot()
+						mu.Unlock()
+					})
+				}
+			}(s)
+		}
+		wg.Wait()
+		return out
+	}
+
+	perShard := run(nil)
+	pool := engine.NewFleetPool(engine.FleetConfig{Workers: 2})
+	defer pool.Close()
+	fleet := run(pool)
+
+	if len(perShard) != len(fleet) {
+		t.Fatalf("outcome counts differ: per-shard %d, fleet %d", len(perShard), len(fleet))
+	}
+	for k, want := range perShard {
+		if !reflect.DeepEqual(fleet[k], want) {
+			t.Errorf("coverage for %+v differs between per-shard and fleet pools", k)
+		}
+	}
+}
+
+// TestFleetPoolCloseSemantics: closing a submitter engine leaves the
+// pool running for its siblings, and submitting into a closed pool
+// panics loudly.
+func TestFleetPoolCloseSemantics(t *testing.T) {
+	pool := engine.NewFleetPool(engine.FleetConfig{Workers: 1})
+	a := engine.New(rocket.New(), engine.Config{Pool: pool})
+	b := engine.New(rocket.New(), engine.Config{Pool: pool})
+
+	a.Close()
+	progs := testProgs(77, 3, 10)
+	got := 0
+	b.Submit(progs).Each(func(i int, o *engine.Outcome) {
+		if o.Err == nil {
+			got++
+		}
+	})
+	if got != len(progs) {
+		t.Fatalf("sibling engine ran %d/%d tests after another engine closed", got, len(progs))
+	}
+	b.Close()
+	pool.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit on a closed FleetPool did not panic")
+		}
+	}()
+	c := engine.New(rocket.New(), engine.Config{Pool: pool})
+	c.Submit(progs)
+}
+
+// TestFleetPoolUtilizationStats: the busy clocks and worker count a
+// benchmark needs for its utilization metric are populated.
+func TestFleetPoolUtilizationStats(t *testing.T) {
+	pool := engine.NewFleetPool(engine.FleetConfig{Workers: 2})
+	defer pool.Close()
+	if pool.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", pool.Workers())
+	}
+	e := engine.New(rocket.New(), engine.Config{Pool: pool})
+	defer e.Close()
+	for round := 0; round < 2; round++ {
+		e.Submit(testProgs(int64(round), 8, 16)).Each(func(int, *engine.Outcome) {})
+	}
+	st := pool.Stats()
+	if st.WorkerBusy+st.HelperBusy <= 0 {
+		t.Error("no busy time accumulated")
+	}
+	if st.Workers != 2 {
+		t.Errorf("stats report %d workers, want 2", st.Workers)
+	}
+	if s := fmt.Sprintf("%+v", st); s == "" {
+		t.Error("stats did not format")
+	}
+}

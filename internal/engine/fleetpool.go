@@ -1,0 +1,339 @@
+// Fleet-level work-stealing execution pool.
+//
+// A FleetPool replaces the per-shard worker pools of a sharded
+// campaign with one shared scheduler: every shard engine becomes a
+// lightweight submitter (Engine with Config.Pool set), and one fixed
+// set of workers executes all shards' rounds. At high shard counts
+// with skewed batch latencies — heterogeneous fleets, learning arms
+// paying PPO updates on their shard's critical path — per-shard pools
+// leave cores idle while other shards still queue work; the shared
+// pool keeps every worker busy on whatever round still has entries.
+//
+// # Affinity and stealing
+//
+// Jobs queue per DUT design name, and each worker keeps its reusable
+// scratch — the rtl.Runner with its platform memory, caches and
+// predictors, plus the golden-model ISS memory — bound to the design
+// it last served. A worker prefers its own design's queue; only when
+// that queue is empty does it steal from the design with the most
+// queued jobs, re-binding its scratch (a migration). Runners are
+// cached per design on first build, so migrating back to a design the
+// worker has served before costs nothing but cache warmth. Two DUTs
+// submitted under the same design name must therefore be
+// interchangeable (built by the same constructor): a runner built
+// from one shard's DUT executes another shard's jobs, which is sound
+// because runners reset all state per run and coverage bins are
+// recorded by index, identically across structurally equal spaces.
+//
+// # Helping committers
+//
+// A shard's committer goroutine (the one inside Round.Each) does not
+// sleep while its next entry is in flight: if any job is still
+// queued, the committer claims and executes it with its own cached
+// scratch — its own round's design first, then stealing like a
+// worker. This keeps a fleet on few cores from paying cross-goroutine
+// handoff for work the committer could have done itself, and on many
+// cores it turns every blocked shard goroutine into an extra worker
+// exactly when the fleet is skewed.
+//
+// # Commit order and determinism
+//
+// Stealing never reorders observable effects. Workers and helpers
+// only compute and mark entries ready; every stateful side effect
+// (coverage merge, detector, clock, trajectory) still happens in the
+// owning shard's goroutine, in input order, inside Round.Each — the
+// same in-order commit the per-shard engine performs. Which worker
+// executes an entry, and on which design-bound scratch, is
+// unobservable: a fixed-seed campaign produces bit-identical
+// trajectories, detector output and checkpoints on the serial path,
+// the per-shard pool path and the fleet pool, regardless of worker
+// count, stealing or scheduling.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FleetConfig parameterises a FleetPool.
+type FleetConfig struct {
+	// Workers bounds concurrent simulations across the whole fleet
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+// FleetStats is a snapshot of a pool's scheduling counters.
+type FleetStats struct {
+	// Workers is the pool's worker count.
+	Workers int
+	// Submitted counts jobs enqueued since the pool started.
+	Submitted int
+	// Executed counts jobs run by pool workers.
+	Executed int
+	// Helped counts jobs run by committer goroutines inside
+	// Round.Each while they waited for an in-flight entry.
+	Helped int
+	// Stolen counts claims that crossed design queues: an already-
+	// affine claimer's own queue was empty and it took a job from
+	// another design (a fresh worker's first claim is not a steal).
+	Stolen int
+	// Migrations counts scratch re-binds: a steal by a claimer whose
+	// scratch was bound to a different design (a claimer that never
+	// bound scratch has nothing to migrate).
+	Migrations int
+	// MigrationsByDesign counts migrations per destination design.
+	MigrationsByDesign map[string]int
+	// WorkerBusy and HelperBusy accumulate execution time spent by
+	// pool workers and helping committers; WorkerBusy over
+	// (Workers × elapsed) is the pool's utilization.
+	WorkerBusy time.Duration
+	HelperBusy time.Duration
+}
+
+// designQueue is one design's FIFO of pending jobs. Popping advances
+// a head index instead of re-slicing so the backing array is reused
+// once the queue drains.
+type designQueue struct {
+	jobs []jobRef
+	head int
+}
+
+func (q *designQueue) len() int { return len(q.jobs) - q.head }
+
+func (q *designQueue) push(j jobRef) { q.jobs = append(q.jobs, j) }
+
+func (q *designQueue) pop() jobRef {
+	j := q.jobs[q.head]
+	q.jobs[q.head] = jobRef{}
+	q.head++
+	if q.head == len(q.jobs) {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	}
+	return j
+}
+
+// FleetPool is a shared work-stealing scheduler over the rounds of
+// many engines. Construct with NewFleetPool, hand it to each shard
+// engine via Config.Pool, and Close it after the engines: the pool is
+// owned by whoever built it (the campaign orchestrator), never by an
+// individual engine or fuzzer.
+//
+// FleetPool is only the owner's handle; the scheduler state workers
+// reference lives in poolState. The split matters for the finalizer:
+// worker goroutines must not keep the handle reachable, or an
+// abandoned pool could never be collected and the safety net below
+// would be dead code (the same trick Engine plays with shared).
+type FleetPool struct {
+	ps   *poolState
+	once sync.Once
+}
+
+// poolState is the scheduler state shared by workers, submitting
+// engines and helping committers.
+type poolState struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*designQueue
+	order  []string // design registration order, for the victim scan
+	closed bool
+	wg     sync.WaitGroup
+
+	// Scheduling counters (guarded by mu), plus atomic busy clocks.
+	submitted  int
+	executed   int
+	helped     int
+	stolen     int
+	migrations int
+	perDesign  map[string]int
+	workerBusy atomic.Int64
+	helperBusy atomic.Int64
+}
+
+// NewFleetPool builds a pool and starts its workers.
+//
+// Pools hold goroutines; release them with Close once every engine
+// submitting to the pool has been closed. A finalizer closes
+// abandoned pools as a safety net, so a leaked pool degrades to
+// garbage, not to a goroutine leak.
+func NewFleetPool(cfg FleetConfig) *FleetPool {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ps := &poolState{
+		workers:   workers,
+		queues:    make(map[string]*designQueue),
+		perDesign: make(map[string]int),
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+	ps.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go ps.workerLoop()
+	}
+	p := &FleetPool{ps: ps}
+	runtime.SetFinalizer(p, (*FleetPool).Close)
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *FleetPool) Workers() int { return p.ps.workers }
+
+// Close stops the workers after the queues drain. No engine may have
+// a round in flight, and no further Submits may race with Close.
+// Close is idempotent.
+func (p *FleetPool) Close() {
+	p.once.Do(func() {
+		runtime.SetFinalizer(p, nil)
+		ps := p.ps
+		ps.mu.Lock()
+		ps.closed = true
+		ps.mu.Unlock()
+		ps.cond.Broadcast()
+		ps.wg.Wait()
+	})
+}
+
+// Stats returns a snapshot of the pool's scheduling counters.
+func (p *FleetPool) Stats() FleetStats {
+	ps := p.ps
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	by := make(map[string]int, len(ps.perDesign))
+	for k, v := range ps.perDesign {
+		by[k] = v
+	}
+	return FleetStats{
+		Workers:            ps.workers,
+		Submitted:          ps.submitted,
+		Executed:           ps.executed,
+		Helped:             ps.helped,
+		Stolen:             ps.stolen,
+		Migrations:         ps.migrations,
+		MigrationsByDesign: by,
+		WorkerBusy:         time.Duration(ps.workerBusy.Load()),
+		HelperBusy:         time.Duration(ps.helperBusy.Load()),
+	}
+}
+
+// submit enqueues every entry of a round on its design's queue.
+func (ps *poolState) submit(r *Round) {
+	design := r.sh.design
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		panic("engine: Submit on a closed FleetPool")
+	}
+	q := ps.queues[design]
+	if q == nil {
+		q = &designQueue{}
+		ps.queues[design] = q
+		ps.order = append(ps.order, design)
+	}
+	n := len(r.outs)
+	for i := 0; i < n; i++ {
+		q.push(jobRef{r, i})
+	}
+	ps.submitted += n
+	ps.mu.Unlock()
+	ps.cond.Broadcast()
+}
+
+// claim pops the next job for w: its affinity queue first, then a
+// steal from the design with the most queued jobs. A steal is a
+// cross-design claim by an already-affine claimer (a fresh worker's
+// first claim is not one), and a migration additionally requires
+// scratch to have been bound to some other design — which is why the
+// counters consult w.cur and w.bound separately. helper distinguishes
+// committer claims from pool-worker claims in the stats. Must be
+// called with ps.mu held; returns false when nothing is queued.
+func (ps *poolState) claim(w *worker, helper bool) (jobRef, bool) {
+	q := ps.queues[w.cur]
+	if q == nil || q.len() == 0 {
+		// Steal: scan for the longest queue, first registration wins
+		// ties. The scan is O(designs), and fleets have few designs.
+		best, victim := 0, ""
+		for _, name := range ps.order {
+			if n := ps.queues[name].len(); n > best {
+				best, victim = n, name
+			}
+		}
+		if best == 0 {
+			return jobRef{}, false
+		}
+		q = ps.queues[victim]
+		if w.cur != "" {
+			ps.stolen++
+		}
+		if w.bound != "" && w.bound != victim {
+			ps.migrations++
+			ps.perDesign[victim]++
+		}
+		w.cur = victim
+	}
+	if helper {
+		ps.helped++
+	} else {
+		ps.executed++
+	}
+	return q.pop(), true
+}
+
+func (ps *poolState) workerLoop() {
+	defer ps.wg.Done()
+	w := &worker{}
+	for {
+		ps.mu.Lock()
+		j, ok := ps.claim(w, false)
+		for !ok {
+			if ps.closed {
+				ps.mu.Unlock()
+				return
+			}
+			ps.cond.Wait()
+			j, ok = ps.claim(w, false)
+		}
+		ps.mu.Unlock()
+		t0 := time.Now()
+		w.bind(j.r.sh)
+		w.exec(j.r, j.i)
+		ps.workerBusy.Add(int64(time.Since(t0)))
+	}
+}
+
+// await blocks until round r's entry i is ready, lending the calling
+// committer goroutine to the pool while it waits: any still-queued
+// job — r's own design first — is claimed and executed with the
+// engine's helper scratch. Only when nothing is claimable (so entry i
+// is already running on some worker) does the committer sleep on the
+// round's condition variable.
+func (ps *poolState) await(r *Round, i int) {
+	h := r.sh.helper
+	for {
+		r.mu.Lock()
+		ready := r.ready[i]
+		r.mu.Unlock()
+		if ready {
+			return
+		}
+		ps.mu.Lock()
+		j, ok := ps.claim(h, true)
+		ps.mu.Unlock()
+		if !ok {
+			r.mu.Lock()
+			for !r.ready[i] {
+				r.cond.Wait()
+			}
+			r.mu.Unlock()
+			return
+		}
+		t0 := time.Now()
+		h.bind(j.r.sh)
+		h.exec(j.r, j.i)
+		ps.helperBusy.Add(int64(time.Since(t0)))
+	}
+}

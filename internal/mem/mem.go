@@ -27,9 +27,25 @@ func (r Range) Contains(addr uint64, size int) bool {
 
 // Memory is a little-endian sparse physical memory. The zero value is
 // unusable; construct with New.
+//
+// Reset is generation-tagged: each page carries the generation it was
+// last written in, and Reset just bumps the memory's generation. A page
+// left over from an earlier generation reads as zero and is cleared
+// lazily on its next write, so Reset costs O(1) instead of scaling with
+// every page the memory ever touched — which matters once one reusable
+// execution context is shared by a whole fleet of campaign shards and
+// its page set grows toward the union of all their tests.
 type Memory struct {
-	pages  map[uint64][]byte
+	pages  map[uint64]*page
 	ranges []Range
+	gen    uint64
+}
+
+// page is one 4 KiB unit of backing store plus the generation tag that
+// makes Reset constant-time.
+type page struct {
+	gen  uint64
+	data []byte
 }
 
 // New returns a memory with the given mapped ranges.
@@ -37,7 +53,7 @@ func New(ranges ...Range) *Memory {
 	rs := make([]Range, len(ranges))
 	copy(rs, ranges)
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Base < rs[j].Base })
-	return &Memory{pages: make(map[uint64][]byte), ranges: rs}
+	return &Memory{pages: make(map[uint64]*page), ranges: rs}
 }
 
 // Ranges returns the mapped ranges in ascending base order.
@@ -54,20 +70,26 @@ func (m *Memory) Mapped(addr uint64, size int) bool {
 	return false
 }
 
+// page returns the writable backing store of addr's page, allocating
+// it on first use and lazily clearing a page left over from before the
+// last Reset.
 func (m *Memory) page(addr uint64) []byte {
 	key := addr >> pageBits
 	p, ok := m.pages[key]
 	if !ok {
-		p = make([]byte, pageSize)
+		p = &page{gen: m.gen, data: make([]byte, pageSize)}
 		m.pages[key] = p
+	} else if p.gen != m.gen {
+		clear(p.data)
+		p.gen = m.gen
 	}
-	return p
+	return p.data
 }
 
 // LoadByte reads one byte without a mapping check (callers check first).
 func (m *Memory) LoadByte(addr uint64) byte {
-	if p, ok := m.pages[addr>>pageBits]; ok {
-		return p[addr&(pageSize-1)]
+	if p, ok := m.pages[addr>>pageBits]; ok && p.gen == m.gen {
+		return p.data[addr&(pageSize-1)]
 	}
 	return 0
 }
@@ -101,11 +123,11 @@ func (m *Memory) ReadWord(addr uint64) uint32 { return uint32(m.ReadUint(addr, 4
 // observationally identical to New with the same ranges (every load of
 // an untouched byte returns 0), so a simulator worker can run one test
 // per Reset+Load cycle without re-allocating its address space — the
-// allocation-free steady state of the batch execution engine.
+// allocation-free steady state of the batch execution engine. Reset is
+// O(1): it bumps the generation, and stale pages are cleared lazily on
+// their next write.
 func (m *Memory) Reset() {
-	for _, p := range m.pages {
-		clear(p)
-	}
+	m.gen++
 }
 
 // Segment is one contiguous chunk of an Image.

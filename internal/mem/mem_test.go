@@ -122,3 +122,31 @@ func TestResetRestoresFreshState(t *testing.T) {
 	// Reset must also be safe on a memory that never allocated a page.
 	New(Range{Base: 0x1000, Size: 0x1000}).Reset()
 }
+
+// TestGenerationalResetClearsLazily pins the O(1) Reset contract: a
+// page written before a Reset reads as zero afterwards without being
+// eagerly cleared, survives interleaved Reset/write/read cycles, and
+// stays correct when the same page is rewritten across generations —
+// the access pattern of a fleet-shared execution context whose page
+// set grows toward the union of every shard's tests.
+func TestGenerationalResetClearsLazily(t *testing.T) {
+	m := Platform()
+	const a = TextBase + 0x40
+	for gen := 0; gen < 5; gen++ {
+		if got := m.LoadByte(a); got != 0 {
+			t.Fatalf("gen %d: stale byte %#x before write", gen, got)
+		}
+		m.WriteUint(a, uint64(0xA0+gen), 8)
+		if got := m.ReadUint(a, 8); got != uint64(0xA0+gen) {
+			t.Fatalf("gen %d: read back %#x", gen, got)
+		}
+		// A partial write after Reset must see a cleared page, not the
+		// previous generation's neighbouring bytes.
+		m.Reset()
+		m.StoreByte(a+1, 0xFF)
+		if got := m.ReadUint(a, 8); got != 0xFF00 {
+			t.Fatalf("gen %d: partial write over stale page read %#x, want 0xff00", gen, got)
+		}
+		m.Reset()
+	}
+}

@@ -345,6 +345,25 @@ func (d *Detector) SetState(st State) {
 	}
 }
 
+// NovelSignatures returns the number of unique non-filtered mismatch
+// signatures observed so far — the detector's cluster count after
+// filtration. Unlike RawCount it grows only when a *new* kind of
+// divergence appears (or a previously filtered cluster is upgraded by
+// a non-filtered instance), which makes it the right currency for
+// novelty rewards: a noisy divergence repeating one signature moves
+// RawCount every test but NovelSignatures only once. It never
+// decreases, and it is derivable from State, so checkpoints need no
+// extra field.
+func (d *Detector) NovelSignatures() int {
+	n := 0
+	for _, r := range d.unique {
+		if !r.Filtered {
+			n++
+		}
+	}
+	return n
+}
+
 // Unique returns the clustered mismatch records, most frequent first.
 func (d *Detector) Unique() []*Record {
 	out := make([]*Record, 0, len(d.unique))

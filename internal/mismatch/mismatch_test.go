@@ -238,3 +238,45 @@ func TestStateRoundTrip(t *testing.T) {
 		t.Fatalf("restored detector records = %+v, want one record with count 3", u)
 	}
 }
+
+func TestNovelSignaturesCountsClustersNotRepeats(t *testing.T) {
+	d := NewDetector()
+	if d.NovelSignatures() != 0 {
+		t.Fatal("fresh detector reports novel signatures")
+	}
+	// Ten repeats of one divergence: one cluster, one novel signature.
+	for i := 0; i < 10; i++ {
+		g := entry(uint64(0x100+4*i), isa.OpMUL, 0x02B50533)
+		g.RdValid, g.Rd, g.RdVal = true, isa.A0, uint64(i)
+		dut := g
+		dut.RdValid, dut.Rd, dut.RdVal = false, 0, 0
+		d.Analyze(i, []trace.Entry{dut}, []trace.Entry{g})
+	}
+	if got := d.NovelSignatures(); got != 1 {
+		t.Errorf("after 10 repeats, NovelSignatures = %d, want 1", got)
+	}
+	// A filtered divergence (cycle CSR read) must not count as novel.
+	csr := uint32(0xC0002573) // rdcycle a0
+	g := entry(0x200, isa.OpCSRRS, csr)
+	g.RdValid, g.Rd, g.RdVal = true, isa.A0, 7
+	dut := g
+	dut.RdVal = 9
+	d.Analyze(20, []trace.Entry{dut}, []trace.Entry{g})
+	if got := d.NovelSignatures(); got != 1 {
+		t.Errorf("filtered divergence changed NovelSignatures to %d, want 1", got)
+	}
+	// A genuinely different cluster counts again, and the counter
+	// round-trips through checkpoint state.
+	g2 := entry(0x300, isa.OpADD, 0x33)
+	dut2 := g2
+	dut2.Trap, dut2.Cause = true, 2
+	d.Analyze(21, []trace.Entry{dut2}, []trace.Entry{g2})
+	if got := d.NovelSignatures(); got != 2 {
+		t.Errorf("new cluster: NovelSignatures = %d, want 2", got)
+	}
+	fresh := NewDetector()
+	fresh.SetState(d.State())
+	if got := fresh.NovelSignatures(); got != 2 {
+		t.Errorf("restored detector: NovelSignatures = %d, want 2", got)
+	}
+}
