@@ -56,7 +56,9 @@
 // shard, with design-affine workers that steal across shards and
 // designs when their own queue runs dry — the high-utilization layout
 // for skewed fleets (CampaignConfig.Probe records per-round barrier
-// wait and steal/migration counts, via Orchestrator.Probes and
+// wait — split into the sim-skew wait a pool can steal and the
+// single-threaded learning wait it cannot — plus steal/migration
+// counts, via Orchestrator.Probes and
 // ProbeSummary). All three paths are bit-identical, so the switch
 // only trades throughput. Call Fuzzer.Close (or Orchestrator.Close)
 // when a campaign is finished to release the engine's workers
@@ -75,13 +77,20 @@
 // Online fleet learning: LLMArm samples the trained model read-only,
 // but LearningLLMArm keeps the model improving *during* the campaign —
 // the paper's feedback arrow, under sharding. Each shard owns a deep
-// copy of the model; PPO steps it with rewards from incremental fleet
-// coverage, and at every round barrier the per-shard replicas are
-// averaged deterministically (federated-averaging style, fixed shard
-// order) and the merge is redistributed (internal/fleetlearn).
-// Checkpoints (v3) carry the merged weights and each shard's clustered
-// mismatch-detector state, so a resumed learning campaign replays
-// bit-identically and reports cumulative findings:
+// copy of the model; rollouts sampled from it are buffered per round,
+// PPO trains on them off the round's critical path, and the trained
+// replicas are averaged deterministically (a fixed-order pairwise
+// tournament, exact mean in real arithmetic) and published one round
+// late — the internal/fleetlearn invariant, making the trajectory a
+// pure function of seeds and shard order. CampaignConfig.OffBarrier
+// overlaps that training with the next round's simulation on a
+// background goroutine, bit-identical to the synchronous path, and
+// CampaignConfig.UpdateBudget skips updates while merged coverage is
+// plateaued to buy virtual time for detection fleets. Checkpoints
+// (v4) carry the published and staged weight vectors and each shard's
+// clustered mismatch-detector state, so a learning campaign resumed
+// even mid-lag replays bit-identically and reports cumulative
+// findings:
 //
 //	o, err := chatfuzz.NewOrchestrator(
 //	    chatfuzz.CampaignConfig{Shards: 4, Seed: 1, Detect: true},

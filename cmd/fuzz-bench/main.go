@@ -17,10 +17,16 @@
 // loop; -fleetpool shares one fleet-level work-stealing execution
 // pool (design-affine workers) across every shard instead of
 // per-shard pools. All three execution paths are bit-identical — the
-// flags exist for benchmarking and debugging. -probe records and
-// prints per-round scheduler statistics (barrier wait, steals,
-// per-design migrations), the scale-probe mode for runs like
+// flags exist for benchmarking and debugging. -offbarrier moves the
+// learning arm's PPO training onto a background goroutine overlapped
+// with the next round's simulation (also bit-identical: weight
+// publication is staged one round late either way), and
+// -update-budget skips PPO steps while merged coverage is plateaued.
+// -probe records and prints per-round scheduler statistics (sim and
+// learn barrier waits, steals, per-design migrations), the
+// scale-probe mode for runs like
 // `fuzz-bench campaign -shards 32 -fleetpool -probe`.
+// See README.md in this directory for the full campaign flag guide.
 package main
 
 import (
@@ -54,7 +60,9 @@ func campaignMain(args []string) {
 		poolWork   = fs.Int("pool-workers", 0, "fleet pool workers (0 = GOMAXPROCS; requires -fleetpool)")
 		probe      = fs.Bool("probe", false, "record and print per-round scheduler statistics: barrier wait, spread, steals, helps, per-design migrations")
 		llm        = fs.Bool("llm", false, "train a pipeline and schedule the frozen LLM arm")
-		learn      = fs.Bool("learn", false, "train a pipeline and schedule the online-learning LLM arm (per-shard replicas, barrier weight averaging); reports the coverage delta over an identical frozen-LLM fleet")
+		learn      = fs.Bool("learn", false, "train a pipeline and schedule the online-learning LLM arm (per-shard replicas, staged pairwise weight averaging); reports the coverage delta over an identical frozen-LLM fleet")
+		offBarrier = fs.Bool("offbarrier", false, "run learning-arm PPO updates on a background goroutine, overlapped with the next round's simulation (one-round-late publication either way, so trajectories are bit-identical; requires -learn to matter)")
+		budget     = fs.Int("update-budget", 0, "skip learning-arm PPO updates after this many consecutive zero-new-coverage rounds, until coverage moves again (0 = never skip)")
 		quickPipe  = fs.Bool("quickpipe", false, "train the tiny test-scale pipeline instead of the default one (smoke runs)")
 		mweight    = fs.Float64("mismatch-weight", 0, "bandit reward weight of the mismatch-rate term, 0..1 (enables -detect style steering; requires detection)")
 		detect     = fs.Bool("detect", false, "enable differential testing in every shard")
@@ -132,7 +140,7 @@ func campaignMain(args []string) {
 		// scheduling flags below would otherwise be silently ignored.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "shards", "batch", "seed", "parallel", "detect", "mismatch-weight":
+			case "shards", "batch", "seed", "parallel", "detect", "mismatch-weight", "update-budget":
 				fmt.Printf("warning: -%s is ignored with -resume (the checkpoint's value is used)\n", f.Name)
 			case "serial":
 				fmt.Println("warning: -serial is ignored with -resume (resumed fleets run on the engine path)")
@@ -144,6 +152,10 @@ func campaignMain(args []string) {
 		if err != nil {
 			log.Fatalf("resume: %v", err)
 		}
+		// OffBarrier is a pure execution detail (publication is staged one
+		// round late either way), so unlike the pool flags it can be
+		// honored on the resumed fleet without touching the trajectory.
+		o.Cfg.OffBarrier = *offBarrier
 		fmt.Printf("resumed at round %d, %d tests, %.2f%% coverage\n", o.Rounds(), o.Tests(), o.Coverage())
 	} else {
 		o, err = campaign.NewMixed(campaign.Config{
@@ -157,6 +169,8 @@ func campaignMain(args []string) {
 			Probe:          *probe,
 			Detect:         *detect,
 			MismatchWeight: *mweight,
+			OffBarrier:     *offBarrier,
+			UpdateBudget:   *budget,
 		}, newDUTs, arms...)
 		if err != nil {
 			log.Fatalf("campaign: %v", err)
@@ -164,7 +178,9 @@ func campaignMain(args []string) {
 	}
 	defer o.Close()
 
-	o.RunTests(*tests)
+	if err := o.RunTests(*tests); err != nil {
+		log.Fatalf("campaign: %v", err)
+	}
 	fmt.Print(o.Report())
 	if *probe && !*resume {
 		fmt.Println(o.ProbeSummary())
@@ -214,7 +230,9 @@ func campaignMain(args []string) {
 		if err != nil {
 			log.Fatalf("frozen twin: %v", err)
 		}
-		fo.RunTests(*tests)
+		if err := fo.RunTests(*tests); err != nil {
+			log.Fatalf("frozen twin: %v", err)
+		}
 		h := o.Hours()
 		if fh := fo.Hours(); fh < h {
 			h = fh

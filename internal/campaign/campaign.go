@@ -37,6 +37,16 @@
 // coverage bitmap while the bandit, virtual clock and TheHuzz pool
 // sync span the whole fleet. Call Close when done to release the
 // shard engines (and the fleet pool, which the orchestrator owns).
+//
+// Learning arms ride an off-barrier learning plane (internal/
+// fleetlearn): shards buffer their PPO rollouts during the round, the
+// barrier launches training over the buffers and publishes the
+// previous barrier's merge one round late — so PPO never sits on a
+// shard's critical path, and Config.OffBarrier can overlap the
+// training with the next round's simulation without changing a single
+// trajectory bit. Config.UpdateBudget adaptively skips updates while
+// merged coverage is plateaued. Checkpoints (v4) carry the published
+// and staged weight vectors, making resume bit-exact even mid-lag.
 package campaign
 
 import (
@@ -104,10 +114,33 @@ type Config struct {
 	// mismatches they cluster). Like RewardHalf it only sets the
 	// comparison scale.
 	MismatchHalf float64
+	// UpdateBudget adaptively skips learning-arm PPO updates while the
+	// fleet's coverage rate is plateaued: after UpdateBudget
+	// consecutive rounds in which the barrier merged zero new coverage
+	// bins, the learning barrier discards its buffered rollouts
+	// instead of training, until coverage moves again (0, the default,
+	// never skips). On a plateau the virtual time a PPO step buys is
+	// better spent simulating — the MABFuzz argument, applied to the
+	// update schedule rather than arm selection. The plateau counter
+	// is a pure function of the merged trajectory, so it survives
+	// checkpoint/resume without being stored. Scheduling semantics,
+	// not an execution detail: checkpointed.
+	UpdateBudget int
 	// Parallel bounds simulation workers inside each shard (default
 	// 1: the shards themselves are the parallelism). Ignored with
 	// FleetPool.
 	Parallel int
+	// OffBarrier moves learning-arm PPO training onto a background
+	// goroutine: each round's buffered rollouts train while the next
+	// round simulates, and the merged weights are published at the
+	// following barrier. Publication is one round late either way —
+	// that staging is the fleet-learning semantics, not a toggle — so
+	// trajectories, learned weights and checkpoints are bit-identical
+	// with OffBarrier on or off; only wall-clock placement of the
+	// training work changes. Like Serial and FleetPool it is an
+	// execution detail excluded from checkpoints; pass it again when
+	// resuming to keep training off the barrier.
+	OffBarrier bool `json:"-"`
 	// FleetPool replaces the per-shard execution pools with one
 	// fleet-level work-stealing pool shared by every shard: shards
 	// submit their rounds into per-design queues and the pool's
@@ -191,6 +224,13 @@ type Orchestrator struct {
 	merged []core.ProgressPoint
 	round  int
 	tests  int
+	// plateau counts consecutive rounds whose barrier merged zero new
+	// coverage bins (drives Config.UpdateBudget). Derivable from the
+	// merged trajectory, so resume recomputes it instead of storing it.
+	plateau int
+	// err poisons the fleet after a barrier failure: every subsequent
+	// Run* call returns it instead of running on inconsistent state.
+	err error
 }
 
 // New builds a homogeneous fleet: one DUT per shard via newDUT, one
@@ -303,11 +343,17 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 	return o, nil
 }
 
-// Close releases every shard's execution engine, then the fleet pool
-// when one is shared (the orchestrator owns the pool, the shards only
-// submit into it). The orchestrator's reports and trajectory stay
-// readable; no further rounds may run.
+// Close joins any in-flight off-barrier training, releases every
+// shard's execution engine, then the fleet pool when one is shared
+// (the orchestrator owns the pool, the shards only submit into it).
+// The orchestrator's reports and trajectory stay readable; no further
+// rounds may run.
 func (o *Orchestrator) Close() {
+	for _, fl := range o.fleets {
+		if fl != nil {
+			fl.Sync()
+		}
+	}
 	for _, s := range o.shards {
 		s.fuz.Close()
 	}
@@ -330,8 +376,15 @@ func armSeed(campaign int64, shard, round int) int64 {
 }
 
 // RunRound executes one scheduling round: arm selection per shard,
-// concurrent fuzzing, then deterministic barrier accounting.
-func (o *Orchestrator) RunRound() {
+// concurrent fuzzing, then deterministic barrier accounting. A
+// barrier failure (a shard's coverage space diverging from the fleet
+// global — corrupted state, never a healthy run) is returned to the
+// caller rather than panicking a long-lived fleet, and poisons the
+// orchestrator: every later Run* call returns the same error.
+func (o *Orchestrator) RunRound() error {
+	if o.err != nil {
+		return o.err
+	}
 	n := len(o.shards)
 	o.bandit.Discount(o.Cfg.BanditDecay)
 	picks := make([]int, n)
@@ -392,8 +445,12 @@ func (o *Orchestrator) RunRound() {
 				last = ts
 			}
 		}
+		// SimWait only: with learning buffered off the round path, a
+		// shard's finish timestamp marks the end of generation +
+		// simulation, so this is the idle skew an execution pool can
+		// actually steal. The learning pole lands in LearnWait below.
 		for _, ts := range finished {
-			probe.BarrierWait += last.Sub(ts)
+			probe.SimWait += last.Sub(ts)
 		}
 		probe.Spread = last.Sub(first)
 		if o.pool != nil {
@@ -401,22 +458,19 @@ func (o *Orchestrator) RunRound() {
 			probe.Steals = st.Stolen - stats0.Stolen
 			probe.Helped = st.Helped - stats0.Helped
 			probe.Migrations = st.Migrations - stats0.Migrations
-			probe.MigrationsByDesign = make(map[string]int)
-			for name, m := range st.MigrationsByDesign {
-				if d := m - stats0.MigrationsByDesign[name]; d > 0 {
-					probe.MigrationsByDesign[name] = d
-				}
-			}
+			probe.MigrationsByDesign = migrationDelta(st.MigrationsByDesign, stats0.MigrationsByDesign)
 		}
-		o.probes = append(o.probes, *probe)
 	}
 
 	// Barrier: merge bitmaps and credit the bandit in shard order.
+	roundAdded := 0
 	for i, s := range o.shards {
 		added, err := o.globals[o.designs[i]].MergeWords(s.fuz.Calc.Total().Snapshot())
 		if err != nil {
-			panic("campaign: shard coverage space diverged: " + err.Error())
+			o.err = fmt.Errorf("campaign: shard %d (%s) coverage space diverged: %w", i, o.designs[i], err)
+			return o.err
 		}
+		roundAdded += added
 		covRate, misRate := 0.0, 0.0
 		if deltas[i].hours > 0 {
 			covRate = float64(added) / deltas[i].hours
@@ -432,19 +486,39 @@ func (o *Orchestrator) RunRound() {
 		}
 		for i, s := range o.shards {
 			if _, err := s.fuz.Calc.Total().MergeWords(snaps[o.designs[i]]); err != nil {
-				panic("campaign: global sync: " + err.Error())
+				o.err = fmt.Errorf("campaign: global sync to shard %d (%s): %w", i, o.designs[i], err)
+				return o.err
 			}
 		}
 		o.syncPools()
 	}
-	// Fleet learning step: average the replicas that stepped this round
-	// and redistribute the merge — single-threaded, replicas visited in
-	// shard order, so the merged bits are reproducible (and a checkpoint
-	// taken between rounds needs only this one weight vector per arm).
+	// Fleet learning step: join the training launched last barrier,
+	// publish its merge (one round late, see fleetlearn), and launch
+	// this round's training — on a background goroutine overlapped
+	// with the next round's simulation when Cfg.OffBarrier is set,
+	// inline otherwise; the bits are identical either way. Replicas
+	// are visited in shard order and reduce under a fixed pairwise
+	// schedule, so the merged weights are reproducible and a
+	// checkpoint needs only the published/staged vector pair per arm.
+	if roundAdded == 0 {
+		o.plateau++
+	} else {
+		o.plateau = 0
+	}
+	skip := o.Cfg.UpdateBudget > 0 && o.plateau >= o.Cfg.UpdateBudget
+	var learn0 time.Time
+	if probe != nil {
+		learn0 = time.Now()
+	}
 	for _, fl := range o.fleets {
 		if fl != nil {
-			fl.Average()
+			fl.Barrier(o.Cfg.OffBarrier, skip)
 		}
+	}
+	if probe != nil {
+		probe.LearnWait = time.Since(learn0)
+		probe.BarrierWait = probe.SimWait + probe.LearnWait
+		o.probes = append(o.probes, *probe)
 	}
 	o.round++
 	o.merged = append(o.merged, core.ProgressPoint{
@@ -452,6 +526,28 @@ func (o *Orchestrator) RunRound() {
 		Hours:    o.Hours(),
 		Coverage: o.Coverage(),
 	})
+	return nil
+}
+
+// plateauOf recomputes the zero-new-coverage plateau counter from a
+// merged trajectory: merged coverage is strictly monotone in hit
+// bins, so a round added nothing exactly when its coverage equals the
+// previous round's (round 0 compares against zero). Resume uses this
+// so Config.UpdateBudget decisions replay bit-identically without
+// checkpointing the counter.
+func plateauOf(merged []core.ProgressPoint) int {
+	p := 0
+	for i := len(merged) - 1; i >= 0; i-- {
+		prev := 0.0
+		if i > 0 {
+			prev = merged[i-1].Coverage
+		}
+		if merged[i].Coverage != prev {
+			break
+		}
+		p++
+	}
+	return p
 }
 
 // reward squashes a shard-round's coverage rate (new merged bins per
@@ -548,18 +644,26 @@ func bodyKey(body []uint32) string {
 	return string(buf)
 }
 
-// RunRounds executes n scheduling rounds.
-func (o *Orchestrator) RunRounds(n int) {
+// RunRounds executes n scheduling rounds, stopping at the first
+// barrier failure.
+func (o *Orchestrator) RunRounds(n int) error {
 	for i := 0; i < n; i++ {
-		o.RunRound()
+		if err := o.RunRound(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// RunTests runs rounds until the fleet has executed at least n tests.
-func (o *Orchestrator) RunTests(n int) {
+// RunTests runs rounds until the fleet has executed at least n tests,
+// stopping at the first barrier failure.
+func (o *Orchestrator) RunTests(n int) error {
 	for o.tests < n {
-		o.RunRound()
+		if err := o.RunRound(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Coverage returns the fleet's merged condition-coverage percentage.
@@ -609,9 +713,10 @@ func (o *Orchestrator) CoverageAt(hours float64) float64 {
 	return last
 }
 
-// LearnedWeights returns a copy of a learning arm's current merged
-// (barrier-averaged) model weights, or nil if no arm of that name
-// learns. Valid between rounds, where every replica holds the merge.
+// LearnedWeights returns a copy of a learning arm's current published
+// model weights — the vector every replica's sampling model holds, one
+// round behind training per the fleetlearn staging invariant — or nil
+// if no arm of that name learns. Valid between rounds.
 func (o *Orchestrator) LearnedWeights(name string) []float64 {
 	for i, sp := range o.specs {
 		if sp.Name == name && o.fleets[i] != nil {

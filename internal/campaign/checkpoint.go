@@ -15,11 +15,15 @@ import (
 // checkpointVersion guards the JSON layout. Version 2 introduced
 // heterogeneous fleets: per-design merged bitmaps (Globals keyed by
 // design name) and the per-shard design list replace the single
-// Global bitmap and Bins fingerprint of version 1. Version 3 adds
+// Global bitmap and Bins fingerprint of version 1. Version 3 added
 // online fleet learning and cumulative detection: the barrier-averaged
 // model weights of every learning arm (Learn) and each shard's
-// clustered mismatch-detector state (shardState.Det).
-const checkpointVersion = 3
+// clustered mismatch-detector state (shardState.Det). Version 4 moves
+// learning off the barrier: Learn becomes a published/staged weight
+// pair per arm — the sampling weights every replica holds plus the
+// trained-but-unpublished merge in the one-round publication lag — so
+// a fleet paused mid-lag resumes bit-exactly.
+const checkpointVersion = 4
 
 // checkpointFile is the serialized form of a paused fleet. Arms holds
 // the arm signatures (name + parameters), which Resume validates so a
@@ -47,14 +51,29 @@ type checkpointFile struct {
 	Bandit banditState
 	// Globals holds the fleet-merged coverage bitmap of every design.
 	Globals map[string][]uint64
-	// Learn holds the barrier-averaged model weights of every learning
-	// arm, keyed by arm name (nn.EncodeWeights: base64 of the exact
-	// IEEE-754 bits, so resumed replicas start bit-identical). Between
-	// rounds this one vector is the arm's entire learning state —
-	// averaging resets replica optimizers, so no moments are needed.
-	Learn  map[string]string `json:",omitempty"`
+	// Learn holds each learning arm's weight state, keyed by arm name.
+	// Between rounds an arm's entire learning state collapses to the
+	// learnState vector pair: training always restarts from a fresh
+	// trainer over explicit weights, so no optimizer moments are
+	// needed. Any in-flight off-barrier training is joined before
+	// encoding, which is why checkpoints stay byte-identical across
+	// the synchronous and off-barrier execution paths.
+	Learn  map[string]learnState `json:",omitempty"`
 	Merged []core.ProgressPoint
 	Shards []shardState
+}
+
+// learnState is one learning arm's checkpointed weights
+// (nn.EncodeWeights: base64 of the exact IEEE-754 bits, so resumed
+// replicas start bit-identical).
+type learnState struct {
+	// Pub is the published sampling weights every replica holds.
+	Pub string
+	// Staged is the trained-but-unpublished pairwise merge awaiting
+	// the next barrier — the fresh half of the one-round publication
+	// lag. Empty when nothing is staged (no replica has trained since
+	// the last publication).
+	Staged string `json:",omitempty"`
 }
 
 type banditState struct {
@@ -98,11 +117,19 @@ func (o *Orchestrator) Checkpoint(w io.Writer) error {
 	}
 	for i, sp := range o.specs {
 		cf.Arms = append(cf.Arms, sp.sig)
-		if o.fleets[i] != nil {
+		if fl := o.fleets[i]; fl != nil {
 			if cf.Learn == nil {
-				cf.Learn = make(map[string]string)
+				cf.Learn = make(map[string]learnState)
 			}
-			cf.Learn[sp.Name] = nn.EncodeWeights(o.fleets[i].Weights())
+			// Join any in-flight off-barrier training first, so the
+			// staged half is final and the encoded bytes match what the
+			// synchronous path would have written.
+			fl.Sync()
+			st := learnState{Pub: nn.EncodeWeights(fl.Weights())}
+			if staged := fl.Staged(); staged != nil {
+				st.Staged = nn.EncodeWeights(staged)
+			}
+			cf.Learn[sp.Name] = st
 		}
 	}
 	for _, s := range o.shards {
@@ -270,21 +297,34 @@ func ResumeMixed(r io.Reader, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orch
 		if o.fleets[i] == nil {
 			continue
 		}
-		enc, ok := cf.Learn[sp.Name]
+		st, ok := cf.Learn[sp.Name]
 		if !ok {
 			// Arm signatures matched, so this can only be a hand-edited
 			// or corrupted file; fail instead of silently restarting the
 			// arm from the pipeline's offline weights.
 			return nil, fmt.Errorf("campaign: checkpoint carries no weights for learning arm %q", sp.Name)
 		}
-		w, err := nn.DecodeWeights(enc)
+		w, err := nn.DecodeWeights(st.Pub)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: weights for learning arm %q: %w", sp.Name, err)
 		}
 		if err := o.fleets[i].SetWeights(w); err != nil {
 			return nil, fmt.Errorf("campaign: restore learning arm %q: %w", sp.Name, err)
 		}
+		if st.Staged != "" {
+			sw, err := nn.DecodeWeights(st.Staged)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: staged weights for learning arm %q: %w", sp.Name, err)
+			}
+			if err := o.fleets[i].SetStaged(sw); err != nil {
+				return nil, fmt.Errorf("campaign: restore staged weights for arm %q: %w", sp.Name, err)
+			}
+		}
 	}
+	// Replay the update-budget plateau counter from the restored
+	// trajectory, so Config.UpdateBudget skip decisions continue
+	// bit-identically to the uninterrupted run.
+	o.plateau = plateauOf(o.merged)
 	restored = true
 	return o, nil
 }

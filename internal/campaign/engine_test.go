@@ -150,7 +150,7 @@ func TestMixedFleetCheckpointResume(t *testing.T) {
 func TestResumeReportsVersionMismatchCleanly(t *testing.T) {
 	v1 := []byte(`{"Version":1,"Config":{},"Round":3,"Tests":24,"Bins":1234,"Arms":[],"Global":[0]}`)
 	_, err := Resume(bytes.NewReader(v1), newRocket, testArms()...)
-	if err == nil || !strings.Contains(err.Error(), "version 1, want 3") {
+	if err == nil || !strings.Contains(err.Error(), "version 1, want 4") {
 		t.Errorf("v1 checkpoint: err = %v, want a version-mismatch message", err)
 	}
 }

@@ -28,6 +28,10 @@ var execPaths = []execPath{
 	{"serial", func(c *Config) { c.Serial = true }},
 	{"per-shard-pool", func(c *Config) {}},
 	{"fleet-pool", func(c *Config) { c.FleetPool = true; c.PoolWorkers = 3 }},
+	// Off-barrier learning on top of the fleet pool: PPO training runs
+	// on a background goroutine overlapped with the next round, yet
+	// trajectories and checkpoint bytes must match the serial loop.
+	{"off-barrier", func(c *Config) { c.FleetPool = true; c.PoolWorkers = 3; c.OffBarrier = true }},
 }
 
 // TestFleetPoolDeterminismTable is the acceptance property of the
@@ -140,10 +144,12 @@ func TestFleetPoolShrinksBarrierWait(t *testing.T) {
 
 	// The skew is real in both runs; the pool must absorb it. The
 	// typical shrink is ~2x; asserting only a 25% cut keeps scheduler
-	// noise on loaded CI runners out of the verdict.
-	if fleet.BarrierWait >= perShard.BarrierWait*3/4 {
-		t.Errorf("fleet pool barrier wait %v did not shrink vs per-shard %v (want < 3/4)",
-			fleet.BarrierWait, perShard.BarrierWait)
+	// noise on loaded CI runners out of the verdict. SimWait is the
+	// pool's own metric — the stealable sim-finish skew — though with
+	// frozen arms LearnWait is zero and BarrierWait would read the same.
+	if fleet.SimWait >= perShard.SimWait*3/4 {
+		t.Errorf("fleet pool sim wait %v did not shrink vs per-shard %v (want < 3/4)",
+			fleet.SimWait, perShard.SimWait)
 	}
 	if fleet.Steals+fleet.Helped == 0 {
 		t.Error("fleet run recorded no steals or helps; the pool was idle")

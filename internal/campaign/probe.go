@@ -16,10 +16,23 @@ import (
 // so probed and unprobed runs produce identical trajectories.
 type RoundProbe struct {
 	Round int
-	// BarrierWait is the summed time shards spent finished-but-waiting
-	// at the barrier: Σ over shards of (last finish − shard finish).
-	// It is the round's wasted rig time; the fleet pool exists to
-	// shrink it on skewed fleets.
+	// SimWait is the summed time shards spent finished-but-waiting for
+	// the slowest shard's generation + simulation: Σ over shards of
+	// (last finish − shard finish). It is the round's wasted rig time
+	// — the idle skew a work-stealing pool can actually reclaim.
+	SimWait time.Duration
+	// LearnWait is the single-threaded time the orchestrator barrier
+	// spent in the learning step (joining the previous round's
+	// training and, on the synchronous path, training this round's).
+	// With OffBarrier the training overlaps the next round's
+	// simulation and LearnWait collapses toward the join cost. No pool
+	// can steal it; it must be moved, which is what the off-barrier
+	// plane does.
+	LearnWait time.Duration
+	// BarrierWait is SimWait + LearnWait, the round's total barrier
+	// cost. Earlier probes reported only this sum, which conflated the
+	// stealable sim skew with the unstealable learning pole — exactly
+	// how a work-stealing pool could look like it grew the barrier.
 	BarrierWait time.Duration
 	// Spread is last finish − first finish: the skew of the round.
 	Spread time.Duration
@@ -29,8 +42,23 @@ type RoundProbe struct {
 	Helped     int
 	Migrations int
 	// MigrationsByDesign counts this round's scratch migrations per
-	// destination design.
+	// destination design. Every design the pool has ever migrated to
+	// keeps its key — zero-delta rounds report an explicit 0 — so
+	// consumers diffing consecutive probes see a stable key set.
 	MigrationsByDesign map[string]int
+}
+
+// migrationDelta diffs two cumulative per-design migration counters
+// into one round's delta. Every key of the current counter is kept,
+// including zero deltas: cumulative counters never lose keys, so
+// dropping a design on its quiet rounds (the old `d > 0` filter) made
+// ProbeSummary key sets flicker between rounds.
+func migrationDelta(cur, prev map[string]int) map[string]int {
+	out := make(map[string]int, len(cur))
+	for name, m := range cur {
+		out[name] = m - prev[name]
+	}
+	return out
 }
 
 // Probes returns the per-round scheduler measurements recorded so far
@@ -53,7 +81,9 @@ func (o *Orchestrator) PoolStats() (engine.FleetStats, bool) {
 // ProbeSummary aggregates the recorded probes.
 type ProbeSummary struct {
 	Rounds      int
-	BarrierWait time.Duration // summed over rounds
+	SimWait     time.Duration // summed over rounds
+	LearnWait   time.Duration // summed over rounds
+	BarrierWait time.Duration // SimWait + LearnWait, summed over rounds
 	Spread      time.Duration // summed over rounds
 	Steals      int
 	Helped      int
@@ -66,6 +96,8 @@ type ProbeSummary struct {
 func (o *Orchestrator) ProbeSummary() ProbeSummary {
 	s := ProbeSummary{Rounds: len(o.probes), MigrationsByDesign: make(map[string]int)}
 	for _, p := range o.probes {
+		s.SimWait += p.SimWait
+		s.LearnWait += p.LearnWait
 		s.BarrierWait += p.BarrierWait
 		s.Spread += p.Spread
 		s.Steals += p.Steals
@@ -81,9 +113,10 @@ func (o *Orchestrator) ProbeSummary() ProbeSummary {
 // String renders the summary as a short report.
 func (s ProbeSummary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "probe: %d rounds, barrier wait %v (spread %v), %d steals, %d helped, %d migrations",
-		s.Rounds, s.BarrierWait.Round(time.Microsecond), s.Spread.Round(time.Microsecond),
-		s.Steals, s.Helped, s.Migrations)
+	fmt.Fprintf(&b, "probe: %d rounds, barrier wait %v (sim %v + learn %v, spread %v), %d steals, %d helped, %d migrations",
+		s.Rounds, s.BarrierWait.Round(time.Microsecond),
+		s.SimWait.Round(time.Microsecond), s.LearnWait.Round(time.Microsecond),
+		s.Spread.Round(time.Microsecond), s.Steals, s.Helped, s.Migrations)
 	if len(s.MigrationsByDesign) > 0 {
 		names := make([]string, 0, len(s.MigrationsByDesign))
 		for n := range s.MigrationsByDesign {

@@ -1,0 +1,9 @@
+//go:build race
+
+package campaign
+
+// raceEnabled lets wall-clock-heavy determinism tables trim their
+// largest shard counts under the race detector, which slows the tiny
+// LLM arm's generation by an order of magnitude. The full tables
+// always run in the regular suite.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 // Package fleetlearn implements online fleet learning for sharded
-// fuzzing campaigns: per-shard PPO model replicas with deterministic
-// federated weight averaging at the orchestrator barrier.
+// fuzzing campaigns: per-shard PPO model replicas trained off the
+// round-critical path, merged by a deterministic pairwise averaging
+// schedule, and published one round late.
 //
 // The paper's central claim is that the input model keeps learning
 // from hardware feedback, but a sharded fleet cannot share one
@@ -8,106 +9,159 @@
 // resumed run could not replay the updates. Fleet learning resolves
 // this the way federated averaging does (McMahan et al.: local steps
 // on replicas, periodic parameter averaging), specialised to the
-// orchestrator's determinism contract:
+// orchestrator's determinism contract and — since the PPO update is
+// the one cost no execution scheduler can steal — restructured so the
+// update never sits on a shard's critical path:
 //
-//   - Replica: each shard that schedules the LLM arm owns a deep copy
-//     of the trained model plus a PPO trainer over it. During a round
-//     the shard's goroutine is the only one touching its replica — the
-//     rollouts its generated programs produced (scored by incremental
-//     fleet coverage) update the replica locally, with the KL penalty
-//     anchored to a frozen copy of the offline-trained base model.
-//   - Fleet: at every orchestrator barrier — single-threaded, shards
-//     visited in fixed index order — the replicas that stepped this
-//     round are averaged parameter-wise (sums accumulated in replica
-//     order, so float rounding is reproducible) and the merged vector
-//     is redistributed to every replica. A replica that skipped the
-//     round still receives the merged weights, so discoveries spread
-//     through the whole fleet within one round.
+//   - Replica: each shard that schedules the LLM arm owns a sampling
+//     copy of the trained model plus a private training clone. During
+//     a round the shard samples programs from the sampling model and
+//     buffers the scored rollouts; no optimisation happens inside the
+//     round, so a shard-round costs generation + simulation only.
+//   - Fleet barrier: at every orchestrator barrier — single-threaded,
+//     replicas visited in fixed shard order — the fleet (1) joins the
+//     training launched at the previous barrier, (2) publishes that
+//     merge to every replica's sampling model, and (3) launches this
+//     round's training: each participant trains its private clone,
+//     starting from the weights its rollouts were sampled under, and
+//     the results are reduced by a fixed-order pairwise (tournament /
+//     hypercube) averaging schedule. Launched training may run on a
+//     background goroutine, overlapped with the next round's
+//     simulation, or inline — the bits are identical either way.
 //
-// Determinism and checkpointing: averaging resets each replica's
-// optimizer, so between rounds the entire learning state collapses to
-// one flat weight vector — all replicas hold the merged weights and
-// every trainer is freshly initialised. A campaign checkpoint
-// therefore carries just that vector (bit-exact, via nn.EncodeWeights)
-// and a resumed fleet replays the remaining rounds bit-identically: no
-// wall-clock, no RNG outside the orchestrator's checkpointed streams,
-// no optimizer moments to serialize.
+// The one-round-late publication invariant: weights trained on round
+// N's rollouts are merged into the fleet at barrier N and published
+// to the sampling models at barrier N+1, so round N+2 is the first
+// round that samples them. Every quantity involved — the rollouts,
+// the training start point, the pairwise reduction order — is a pure
+// function of the campaign seeds and the shard order, which keeps
+// trajectories bit-identical across the synchronous and off-barrier
+// execution modes and across checkpoint/resume.
+//
+// Determinism and checkpointing: between rounds the entire learning
+// state collapses to two flat vectors — the published weights every
+// sampling model holds, and the staged (trained-but-unpublished)
+// merge awaiting the next barrier. A campaign checkpoint carries both
+// (bit-exact, via nn.EncodeWeights), so a fleet paused mid-lag —
+// after a publication, with the next merge still in flight — resumes
+// bit-identically: Sync joins any in-flight training first, and no
+// wall-clock, RNG or optimizer state needs to survive the pause
+// (training always starts from a fresh trainer over an explicit
+// start vector).
 package fleetlearn
 
 import (
 	"fmt"
+	"sync"
 
 	"chatfuzz/internal/ml/nn"
 	"chatfuzz/internal/ml/ppo"
 )
 
-// Replica is one shard's private copy of the policy model plus the PPO
-// trainer that updates it from fuzzing feedback. It implements
-// core.RolloutSink, so it plugs directly into an LLM generator built
-// with core.NewReplicaGenerator. A Replica is not goroutine-safe; the
-// owning shard is the only writer between barriers.
+// Replica is one shard's view of the policy model: a sampling model
+// the shard's generator reads, plus a private training clone its
+// buffered rollouts are replayed into at the fleet barrier. It
+// implements core.RolloutSink, so it plugs directly into an LLM
+// generator built with core.NewReplicaGenerator. A Replica is not
+// goroutine-safe; the owning shard is the only writer between
+// barriers, and the training clone is touched only by the fleet's
+// (possibly background) training task.
 type Replica struct {
-	// Model is the replica's policy: sampled by the shard's generator,
-	// stepped by the trainer, overwritten by barrier averaging.
+	// Model is the replica's sampling model: read by the shard's
+	// generator during rounds, overwritten by barrier publication. It
+	// is never trained in place — updates land on the private clone
+	// and reach Model only through the published merge.
 	Model *nn.GPT
 
 	ref   *nn.GPT // frozen KL reference (copy of the base model)
 	cfg   ppo.Config
-	tr    *ppo.Trainer
-	dirty bool // stepped since the last averaging
+	train *nn.GPT // private training clone (lazily built)
+
+	// pending buffers the round's scored rollouts, one chunk per
+	// Feedback call, preserving the per-batch update cadence when the
+	// chunks are replayed at the barrier.
+	pending [][]*ppo.Rollout
+	dirty   bool // buffered rollouts since the last collection
 }
 
 // NewReplica deep-copies base into a fresh replica. The base model is
-// never mutated: the policy and the frozen KL reference are both
-// independent clones.
+// never mutated: the sampling model and the frozen KL reference are
+// both independent clones.
 func NewReplica(base *nn.GPT, cfg ppo.Config) *Replica {
-	r := &Replica{Model: base.Clone(), ref: base.Clone(), cfg: cfg}
-	r.resetTrainer()
-	return r
+	return &Replica{Model: base.Clone(), ref: base.Clone(), cfg: cfg}
 }
 
-// resetTrainer rebuilds the PPO trainer (fresh Adam state) over the
-// replica's current weights. Called after every weight assignment so
-// that inter-round learning state is exactly (weights) — see the
-// package comment's checkpointing argument.
-func (r *Replica) resetTrainer() {
-	r.tr = ppo.NewTrainerWithRef(r.Model, r.ref, r.cfg, nil)
-}
-
-// StepRollouts applies one PPO update from externally scored rollouts
-// and marks the replica for the next barrier averaging. Implements
-// core.RolloutSink.
+// StepRollouts buffers one batch's scored rollouts for the barrier
+// training pass and marks the replica as a round participant. No
+// optimisation happens here — that is the whole point of the
+// off-barrier learning plane — so the returned stats are zero.
+// Implements core.RolloutSink.
 func (r *Replica) StepRollouts(rolls []*ppo.Rollout) ppo.Stats {
 	if len(rolls) == 0 {
 		return ppo.Stats{}
 	}
 	r.dirty = true
-	return r.tr.StepRollouts(rolls)
+	r.pending = append(r.pending, rolls)
+	return ppo.Stats{}
 }
 
-// Dirty reports whether the replica has stepped since the last
-// averaging (or weight assignment).
+// Dirty reports whether the replica has buffered rollouts since the
+// last collection.
 func (r *Replica) Dirty() bool { return r.dirty }
 
-// setFlat assigns a flattened weight vector and resets the trainer.
-func (r *Replica) setFlat(w []float64) error {
-	if err := r.Model.SetFlatParams(w); err != nil {
-		return err
-	}
+// takePending returns and clears the buffered rollout chunks.
+func (r *Replica) takePending() [][]*ppo.Rollout {
+	out := r.pending
+	r.pending = nil
 	r.dirty = false
-	r.resetTrainer()
-	return nil
+	return out
+}
+
+// trainOn replays the buffered chunks into the replica's private
+// training clone, starting from the weights the rollouts were sampled
+// under, and returns the resulting flat parameter vector. A fresh
+// trainer (fresh Adam state) is built per call, so the result is a
+// pure function of (start, chunks) — no optimizer moments survive
+// between barriers, which is what lets checkpoints carry weights
+// alone.
+func (r *Replica) trainOn(start []float64, chunks [][]*ppo.Rollout) []float64 {
+	if r.train == nil {
+		r.train = r.Model.Clone()
+	}
+	if err := r.train.SetFlatParams(start); err != nil {
+		// Sizes were validated at fleet construction; a mismatch here
+		// is a programming error, not an input error.
+		panic("fleetlearn: train start: " + err.Error())
+	}
+	tr := ppo.NewTrainerWithRef(r.train, r.ref, r.cfg, nil)
+	for _, rolls := range chunks {
+		tr.StepRollouts(rolls)
+	}
+	return r.train.FlattenParams(nil)
+}
+
+// setSampling assigns a flat weight vector to the sampling model.
+func (r *Replica) setSampling(w []float64) error {
+	return r.Model.SetFlatParams(w)
 }
 
 // Fleet aggregates the replicas of one learning arm across all shards
-// and performs the barrier-time weight averaging. Replica order is
-// fixed at construction (shard order); every reduction below iterates
-// in that order, which makes the averaged bits a pure function of the
-// replicas' weights.
+// and runs the staged barrier schedule: join the previous round's
+// training, publish its merge, launch this round's training. Replica
+// order is fixed at construction (shard order); collection, training
+// fan-out and the pairwise reduction all iterate in that order, which
+// makes the merged bits a pure function of the replicas' buffers and
+// start weights.
 type Fleet struct {
 	replicas []*Replica
-	sum      []float64 // reused accumulator
-	flat     []float64 // reused per-replica flatten scratch
+	n        int // parameter count, for resume-path validation
+
+	// staged is the joined-but-unpublished merge: trained on round
+	// N's rollouts, published to the sampling models at barrier N+1.
+	staged []float64
+	// inflight carries an unjoined background training result
+	// (buffered, so an abandoned task never leaks a goroutine).
+	inflight chan []float64
 }
 
 // NewFleet builds a fleet over replicas in shard order. All replicas
@@ -122,8 +176,7 @@ func NewFleet(replicas ...*Replica) (*Fleet, error) {
 			return nil, fmt.Errorf("fleetlearn: replica %d config %+v differs from replica 0 %+v", i+1, r.Model.Cfg, cfg)
 		}
 	}
-	n := nn.NumParamsOf(cfg)
-	return &Fleet{replicas: replicas, sum: make([]float64, n), flat: make([]float64, 0, n)}, nil
+	return &Fleet{replicas: replicas, n: nn.NumParamsOf(cfg)}, nil
 }
 
 // Replicas returns the fleet size.
@@ -132,63 +185,187 @@ func (f *Fleet) Replicas() int { return len(f.replicas) }
 // Replica returns the i-th replica (shard order).
 func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
 
-// Average performs one federated-averaging step: the parameter vectors
-// of every replica that stepped since the last barrier are summed in
-// replica order, divided by the participant count, and the merged
-// weights are redistributed to every replica (participant or not),
-// resetting their trainers. Returns the number of participants; zero
-// means no replica learned this round and nothing was touched.
+// Barrier runs one staged learning step; the caller (the orchestrator
+// barrier) is single-threaded and no shard may be mid-round.
 //
-// Determinism: the caller (the orchestrator barrier) is single-
-// threaded, the iteration order is fixed, and float accumulation
-// happens in that order — averaging the same replica states always
-// produces the same bits.
-func (f *Fleet) Average() int {
-	participants := 0
-	for i := range f.sum {
-		f.sum[i] = 0
-	}
+//  1. The round's buffered rollouts are collected from every dirty
+//     replica, and the current sampling weights — the ones those
+//     rollouts were generated under — are snapshotted as the training
+//     start point.
+//  2. The training launched at the previous barrier is joined and its
+//     merge published to every replica's sampling model (one round
+//     late, per the package invariant).
+//  3. Unless skip is set or no replica participated, this round's
+//     training is launched: every participant replays its buffer from
+//     the snapshot and the results reduce under pairwiseMean. With
+//     async the task runs on a background goroutine, overlapped with
+//     the next round's simulation; otherwise it runs inline. The
+//     resulting bits are identical — only wall-clock placement
+//     differs.
+//
+// skip implements adaptive update budgets: the round's buffers are
+// discarded without training (the bandit's coverage rate has
+// plateaued, so the virtual time a PPO step buys is better spent on
+// simulation), while joining and publication still advance so earlier
+// training is never lost. Returns the number of participating
+// replicas whose buffers were collected.
+func (f *Fleet) Barrier(async, skip bool) int {
+	var parts []*Replica
+	var bufs [][][]*ppo.Rollout
 	for _, r := range f.replicas {
 		if !r.dirty {
 			continue
 		}
-		f.flat = r.Model.FlattenParams(f.flat[:0])
-		for i, v := range f.flat {
-			f.sum[i] += v
+		parts = append(parts, r)
+		bufs = append(bufs, r.takePending())
+	}
+	var start []float64
+	if len(parts) > 0 && !skip {
+		start = f.replicas[0].Model.FlattenParams(nil)
+	}
+
+	f.join()
+	if f.staged != nil {
+		f.publish(f.staged)
+		f.staged = nil
+	}
+
+	if skip || len(parts) == 0 {
+		return len(parts)
+	}
+	task := func() []float64 {
+		outs := make([][]float64, len(parts))
+		var wg sync.WaitGroup
+		for i := range parts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = parts[i].trainOn(start, bufs[i])
+			}(i)
 		}
-		participants++
+		wg.Wait()
+		return pairwiseMean(outs)
 	}
-	if participants == 0 {
-		return 0
+	if async {
+		f.inflight = make(chan []float64, 1)
+		go func() { f.inflight <- task() }()
+	} else {
+		f.staged = task()
 	}
-	inv := 1 / float64(participants)
-	for i := range f.sum {
-		f.sum[i] *= inv
-	}
-	for _, r := range f.replicas {
-		if err := r.setFlat(f.sum); err != nil {
-			// Config equality was validated at construction; a size
-			// mismatch here is a programming error, not an input error.
-			panic("fleetlearn: redistribute: " + err.Error())
-		}
-	}
-	return participants
+	return len(parts)
 }
 
-// Weights returns a copy of the fleet's current merged weight vector.
-// Valid between rounds, where every replica holds identical weights
-// (Average redistributes, and assignment covers non-participants).
+// join blocks until any in-flight background training completes and
+// stages its result.
+func (f *Fleet) join() {
+	if f.inflight != nil {
+		f.staged = <-f.inflight
+		f.inflight = nil
+	}
+}
+
+// Sync joins any in-flight background training without publishing, so
+// the fleet's state collapses to the two checkpointable vectors
+// (published sampling weights + staged merge). Callers checkpoint or
+// close between rounds, never mid-round.
+func (f *Fleet) Sync() { f.join() }
+
+// publish assigns the merged weights to every replica's sampling
+// model.
+func (f *Fleet) publish(w []float64) {
+	for _, r := range f.replicas {
+		if err := r.setSampling(w); err != nil {
+			// Config equality was validated at construction; a size
+			// mismatch here is a programming error, not an input error.
+			panic("fleetlearn: publish: " + err.Error())
+		}
+	}
+}
+
+// Weights returns a copy of the fleet's current published weights.
+// Valid between rounds, where every replica's sampling model holds
+// the same published vector.
 func (f *Fleet) Weights() []float64 {
 	return f.replicas[0].Model.FlattenParams(nil)
 }
 
-// SetWeights assigns an explicit weight vector to every replica —
-// the resume path, restoring a checkpoint's merged weights.
+// Staged returns a copy of the trained-but-unpublished merge, or nil
+// when none is staged. Call Sync first so an in-flight background
+// task is included.
+func (f *Fleet) Staged() []float64 {
+	if f.staged == nil {
+		return nil
+	}
+	out := make([]float64, len(f.staged))
+	copy(out, f.staged)
+	return out
+}
+
+// SetWeights publishes an explicit weight vector to every replica and
+// clears all staged and buffered state — the resume path, restoring a
+// checkpoint's published weights.
 func (f *Fleet) SetWeights(w []float64) error {
+	if len(w) != f.n {
+		return fmt.Errorf("fleetlearn: weight vector has %d scalars, want %d", len(w), f.n)
+	}
+	f.join()
+	f.staged = nil
 	for i, r := range f.replicas {
-		if err := r.setFlat(w); err != nil {
+		r.pending = nil
+		r.dirty = false
+		if err := r.setSampling(w); err != nil {
 			return fmt.Errorf("fleetlearn: replica %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// SetStaged restores a checkpoint's trained-but-unpublished merge; the
+// next Barrier publishes it, exactly as the uninterrupted run would
+// have.
+func (f *Fleet) SetStaged(w []float64) error {
+	if len(w) != f.n {
+		return fmt.Errorf("fleetlearn: staged vector has %d scalars, want %d", len(w), f.n)
+	}
+	f.join()
+	f.staged = make([]float64, len(w))
+	copy(f.staged, w)
+	return nil
+}
+
+// pairwiseMean reduces the participant weight vectors with a
+// fixed-order pairwise (tournament / hypercube gossip) schedule:
+// neighbours merge level by level, each merge weighted by how many
+// originals it already aggregates, so the result equals the exact
+// mean in real arithmetic while the float rounding is a pure function
+// of the participant order. Compared with the sum-all-then-divide it
+// replaces, every merge touches operands of similar magnitude — the
+// accumulation pattern a distributed fleet would use to average
+// without an all-to-one reduction. The input vectors are consumed as
+// scratch.
+func pairwiseMean(vecs [][]float64) []float64 {
+	if len(vecs) == 1 {
+		return vecs[0]
+	}
+	weights := make([]float64, len(vecs))
+	for i := range weights {
+		weights[i] = 1
+	}
+	for len(vecs) > 1 {
+		half := (len(vecs) + 1) / 2
+		for i := 0; i+1 < len(vecs); i += 2 {
+			a, b := vecs[i], vecs[i+1]
+			wa, wb := weights[i], weights[i+1]
+			tw := wa + wb
+			for j := range a {
+				a[j] = (wa*a[j] + wb*b[j]) / tw
+			}
+			vecs[i/2], weights[i/2] = a, tw
+		}
+		if len(vecs)%2 == 1 {
+			vecs[half-1], weights[half-1] = vecs[len(vecs)-1], weights[len(vecs)-1]
+		}
+		vecs, weights = vecs[:half], weights[:half]
+	}
+	return vecs[0]
 }

@@ -31,78 +31,172 @@ func roll(score float64) *ppo.Rollout {
 	}
 }
 
-// constVec fills a replica with a constant parameter vector and marks
-// it as a round participant, for table-driven averaging checks.
-func constVec(r *Replica, v float64, dirty bool) {
-	w := make([]float64, r.Model.NumParams())
-	for i := range w {
-		w[i] = v
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	if err := r.Model.SetFlatParams(w); err != nil {
-		panic(err)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
 	}
-	r.dirty = dirty
+	return true
 }
 
-// TestAverageIsMeanOfParticipants: table-driven — the merged vector is
-// the mean over exactly the dirty replicas, in every participation
-// pattern, and is redistributed to every replica.
-func TestAverageIsMeanOfParticipants(t *testing.T) {
+// constVecs builds n length-k vectors filled with the given constants.
+func constVecs(k int, vals ...float64) [][]float64 {
+	out := make([][]float64, len(vals))
+	for i, v := range vals {
+		out[i] = make([]float64, k)
+		for j := range out[i] {
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+// TestPairwiseMeanIsMean: the tournament reduction equals the exact
+// mean on constants (any participant count, including odd tails at
+// every level) and stays within float tolerance of the naive mean on
+// arbitrary vectors.
+func TestPairwiseMeanIsMean(t *testing.T) {
 	cases := []struct {
-		name    string
-		vals    []float64
-		dirty   []bool
-		want    float64 // expected merged scalar (all-constant replicas)
-		wantN   int
-		touched bool
+		name string
+		vals []float64
+		want float64
 	}{
-		{"all participate", []float64{1, 2, 3}, []bool{true, true, true}, 2, 3, true},
-		{"one participates", []float64{1, 2, 3}, []bool{false, true, false}, 2, 1, true},
-		{"two participate", []float64{1, 2, 4}, []bool{true, false, true}, 2.5, 2, true},
-		{"none participate", []float64{1, 2, 3}, []bool{false, false, false}, 0, 0, false},
-		{"single replica", []float64{7}, []bool{true}, 7, 1, true},
+		{"one", []float64{7}, 7},
+		{"two", []float64{1, 3}, 2},
+		{"three", []float64{1, 2, 3}, 2},
+		{"four", []float64{1, 2, 3, 6}, 3},
+		{"five (odd tail)", []float64{1, 2, 3, 4, 10}, 4},
+		{"seven (odd at two levels)", []float64{1, 2, 3, 4, 5, 6, 7}, 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			base := tinyBase(1)
-			var reps []*Replica
-			for i := range tc.vals {
-				r := NewReplica(base, tinyPPO())
-				constVec(r, tc.vals[i], tc.dirty[i])
-				reps = append(reps, r)
-			}
-			f, err := NewFleet(reps...)
-			if err != nil {
-				t.Fatalf("NewFleet: %v", err)
-			}
-			if got := f.Average(); got != tc.wantN {
-				t.Fatalf("Average reported %d participants, want %d", got, tc.wantN)
-			}
-			for ri, r := range reps {
-				flat := r.Model.FlattenParams(nil)
-				want := tc.vals[ri] // untouched when no one participated
-				if tc.touched {
-					want = tc.want
-				}
-				for i, v := range flat {
-					if v != want {
-						t.Fatalf("replica %d scalar %d = %v, want %v", ri, i, v, want)
-					}
-				}
-				if r.Dirty() && tc.touched {
-					t.Errorf("replica %d still dirty after averaging", ri)
+			got := pairwiseMean(constVecs(4, tc.vals...))
+			for i, v := range got {
+				if math.Abs(v-tc.want) > 1e-12 {
+					t.Fatalf("scalar %d = %v, want %v", i, v, tc.want)
 				}
 			}
 		})
 	}
+
+	// Arbitrary vectors: agree with the naive mean to float tolerance,
+	// and bit-identical across two runs over the same inputs.
+	mk := func() [][]float64 {
+		r := rand.New(rand.NewSource(9))
+		vecs := make([][]float64, 5)
+		for i := range vecs {
+			vecs[i] = make([]float64, 32)
+			for j := range vecs[i] {
+				vecs[i][j] = r.NormFloat64()
+			}
+		}
+		return vecs
+	}
+	in := mk()
+	naive := make([]float64, 32)
+	for _, v := range in {
+		for j := range v {
+			naive[j] += v[j] / float64(len(in))
+		}
+	}
+	got1 := pairwiseMean(mk())
+	got2 := pairwiseMean(mk())
+	if !bitsEqual(got1, got2) {
+		t.Fatal("pairwiseMean not bit-deterministic over identical inputs")
+	}
+	for j := range naive {
+		if math.Abs(got1[j]-naive[j]) > 1e-12 {
+			t.Fatalf("scalar %d: pairwise %v vs naive %v", j, got1[j], naive[j])
+		}
+	}
 }
 
-// TestAverageIsDeterministic: two fleets built identically and stepped
-// with identical rollouts must produce bit-identical merged weights —
-// the property the orchestrator's resume bit-identity rests on.
-func TestAverageIsDeterministic(t *testing.T) {
-	build := func() *Fleet {
-		base := tinyBase(3)
+// TestStepRolloutsBuffers: stepping a replica buffers rollouts without
+// touching any weights — the sampling model must stay bit-identical
+// until a publication barrier, and the base model is never shared.
+func TestStepRolloutsBuffers(t *testing.T) {
+	base := tinyBase(5)
+	baseFlat := base.FlattenParams(nil)
+	a := NewReplica(base, tinyPPO())
+	b := NewReplica(base, tinyPPO())
+
+	a.StepRollouts([]*ppo.Rollout{roll(1.0)})
+	a.StepRollouts([]*ppo.Rollout{roll(-0.5)})
+	if !a.Dirty() {
+		t.Fatal("stepped replica not marked dirty")
+	}
+	if b.Dirty() {
+		t.Fatal("sibling replica marked dirty")
+	}
+	if got := len(a.pending); got != 2 {
+		t.Fatalf("pending chunks = %d, want 2 (one per Feedback call)", got)
+	}
+	if !bitsEqual(a.Model.FlattenParams(nil), baseFlat) {
+		t.Fatal("StepRollouts mutated the sampling model; updates must wait for the barrier")
+	}
+	if !bitsEqual(base.FlattenParams(nil), baseFlat) {
+		t.Fatal("base model mutated by a replica step")
+	}
+	if a.StepRollouts(nil) != (ppo.Stats{}) {
+		t.Fatal("empty step returned non-zero stats")
+	}
+}
+
+// TestOneRoundLatePublication: weights trained at barrier N reach the
+// sampling models at barrier N+1 — never earlier — and every replica
+// receives the same published bits.
+func TestOneRoundLatePublication(t *testing.T) {
+	base := tinyBase(3)
+	a, b := NewReplica(base, tinyPPO()), NewReplica(base, tinyPPO())
+	f, err := NewFleet(a, b)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	start := f.Weights()
+
+	a.StepRollouts([]*ppo.Rollout{roll(1.0)})
+	b.StepRollouts([]*ppo.Rollout{roll(2.0)})
+	if n := f.Barrier(false, false); n != 2 {
+		t.Fatalf("barrier 1 participants = %d, want 2", n)
+	}
+	if !bitsEqual(f.Weights(), start) {
+		t.Fatal("barrier 1 already changed the sampling weights; publication must be one round late")
+	}
+	staged := f.Staged()
+	if staged == nil {
+		t.Fatal("barrier 1 staged nothing")
+	}
+	if bitsEqual(staged, start) {
+		t.Fatal("training produced no movement")
+	}
+
+	if n := f.Barrier(false, false); n != 0 {
+		t.Fatalf("barrier 2 participants = %d, want 0", n)
+	}
+	if !bitsEqual(f.Weights(), staged) {
+		t.Fatal("barrier 2 did not publish the staged merge")
+	}
+	if f.Staged() != nil {
+		t.Fatal("staged merge not cleared after publication")
+	}
+	for i := 0; i < f.Replicas(); i++ {
+		if !bitsEqual(f.Replica(i).Model.FlattenParams(nil), staged) {
+			t.Fatalf("replica %d sampling model differs from the published merge", i)
+		}
+	}
+}
+
+// TestAsyncMatchesSync: the off-barrier (background goroutine) path
+// must stage and publish bit-identical weights to the inline path —
+// the invariant that lets Config.OffBarrier be a pure execution
+// detail.
+func TestAsyncMatchesSync(t *testing.T) {
+	build := func(async bool) *Fleet {
+		base := tinyBase(7)
 		a, b, c := NewReplica(base, tinyPPO()), NewReplica(base, tinyPPO()), NewReplica(base, tinyPPO())
 		a.StepRollouts([]*ppo.Rollout{roll(1.0)})
 		c.StepRollouts([]*ppo.Rollout{roll(-0.5), roll(2.0)})
@@ -110,89 +204,104 @@ func TestAverageIsDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewFleet: %v", err)
 		}
-		if n := f.Average(); n != 2 {
+		if n := f.Barrier(async, false); n != 2 {
 			t.Fatalf("participants = %d, want 2", n)
 		}
+		// Second round of buffered work while the first may still be
+		// training in the background.
+		b.StepRollouts([]*ppo.Rollout{roll(0.25)})
+		f.Barrier(async, false)
+		f.Sync()
 		return f
 	}
-	w1, w2 := build().Weights(), build().Weights()
-	for i := range w1 {
-		if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) {
-			t.Fatalf("scalar %d differs across identical runs: %x vs %x",
-				i, math.Float64bits(w1[i]), math.Float64bits(w2[i]))
-		}
+	sync, async := build(false), build(true)
+	if !bitsEqual(sync.Weights(), async.Weights()) {
+		t.Fatal("published weights differ between sync and async barriers")
+	}
+	ss, as := sync.Staged(), async.Staged()
+	if ss == nil || as == nil {
+		t.Fatal("expected a staged merge on both paths")
+	}
+	if !bitsEqual(ss, as) {
+		t.Fatal("staged weights differ between sync and async barriers")
 	}
 }
 
-// TestReplicaIsolation: stepping one replica must leave the base model
-// and sibling replicas bit-untouched — replicas are deep copies, not
-// views.
-func TestReplicaIsolation(t *testing.T) {
-	base := tinyBase(5)
-	baseFlat := base.FlattenParams(nil)
-	a := NewReplica(base, tinyPPO())
-	b := NewReplica(base, tinyPPO())
+// TestSkipDiscardsBuffers: a budget-skipped barrier discards the
+// round's rollouts without training, while still publishing any
+// previously staged merge — earlier learning is never lost.
+func TestSkipDiscardsBuffers(t *testing.T) {
+	base := tinyBase(11)
+	a, b := NewReplica(base, tinyPPO()), NewReplica(base, tinyPPO())
+	f, _ := NewFleet(a, b)
 
 	a.StepRollouts([]*ppo.Rollout{roll(1.0)})
-	if !a.Dirty() {
-		t.Fatal("stepped replica not marked dirty")
+	f.Barrier(false, false) // stages a merge
+	staged := f.Staged()
+
+	b.StepRollouts([]*ppo.Rollout{roll(2.0)})
+	if n := f.Barrier(false, true); n != 1 {
+		t.Fatalf("skipped barrier participants = %d, want 1", n)
 	}
-	if b.Dirty() {
-		t.Fatal("sibling replica marked dirty")
+	if a.Dirty() || b.Dirty() || len(b.pending) != 0 {
+		t.Fatal("skipped barrier left buffered rollouts behind")
 	}
-	for i, v := range base.FlattenParams(nil) {
-		if v != baseFlat[i] {
-			t.Fatal("base model mutated by a replica step")
-		}
+	if f.Staged() != nil {
+		t.Fatal("skipped barrier trained anyway")
 	}
-	bFlat := b.Model.FlattenParams(nil)
-	for i := range bFlat {
-		if bFlat[i] != baseFlat[i] {
-			t.Fatal("sibling replica mutated by another replica's step")
-		}
-	}
-	aFlat := a.Model.FlattenParams(nil)
-	moved := false
-	for i := range aFlat {
-		if aFlat[i] != baseFlat[i] {
-			moved = true
-			break
-		}
-	}
-	if !moved {
-		t.Error("stepped replica did not move")
+	if !bitsEqual(f.Weights(), staged) {
+		t.Fatal("skipped barrier failed to publish the previously staged merge")
 	}
 }
 
-// TestSetWeightsRoundTrip: Weights/SetWeights must round-trip
-// bit-exactly through the encoded form checkpoints use.
+// TestSetWeightsRoundTrip: Weights/SetWeights and Staged/SetStaged must
+// round-trip bit-exactly through the encoded form checkpoints use, and
+// SetWeights must clear all in-progress learning state.
 func TestSetWeightsRoundTrip(t *testing.T) {
 	base := tinyBase(7)
 	a := NewReplica(base, tinyPPO())
 	a.StepRollouts([]*ppo.Rollout{roll(1.5)})
 	f1, _ := NewFleet(a)
-	f1.Average()
+	f1.Barrier(false, false)
+	wantStaged := f1.Staged()
+	f1.Barrier(false, false)
 	want := f1.Weights()
 
-	enc := nn.EncodeWeights(want)
-	dec, err := nn.DecodeWeights(enc)
-	if err != nil {
-		t.Fatalf("DecodeWeights: %v", err)
+	dec := func(w []float64) []float64 {
+		out, err := nn.DecodeWeights(nn.EncodeWeights(w))
+		if err != nil {
+			t.Fatalf("DecodeWeights: %v", err)
+		}
+		return out
 	}
 	f2, _ := NewFleet(NewReplica(tinyBase(7), tinyPPO()), NewReplica(tinyBase(7), tinyPPO()))
-	if err := f2.SetWeights(dec); err != nil {
+	f2.Replica(0).StepRollouts([]*ppo.Rollout{roll(9)}) // stale state SetWeights must clear
+	if err := f2.SetWeights(dec(want)); err != nil {
 		t.Fatalf("SetWeights: %v", err)
 	}
+	if f2.Replica(0).Dirty() {
+		t.Fatal("SetWeights kept buffered rollouts")
+	}
 	for i := 0; i < f2.Replicas(); i++ {
-		got := f2.Replica(i).Model.FlattenParams(nil)
-		for j := range want {
-			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-				t.Fatalf("replica %d scalar %d not bit-exact after round trip", i, j)
-			}
+		if !bitsEqual(f2.Replica(i).Model.FlattenParams(nil), want) {
+			t.Fatalf("replica %d not bit-exact after round trip", i)
 		}
+	}
+	if err := f2.SetStaged(dec(wantStaged)); err != nil {
+		t.Fatalf("SetStaged: %v", err)
+	}
+	if !bitsEqual(f2.Staged(), wantStaged) {
+		t.Fatal("staged merge not bit-exact after round trip")
+	}
+	f2.Barrier(false, false)
+	if !bitsEqual(f2.Weights(), wantStaged) {
+		t.Fatal("restored staged merge was not published at the next barrier")
 	}
 	if err := f2.SetWeights(want[:10]); err == nil {
 		t.Error("SetWeights accepted a short vector")
+	}
+	if err := f2.SetStaged(want[:10]); err == nil {
+		t.Error("SetStaged accepted a short vector")
 	}
 }
 
