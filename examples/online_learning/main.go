@@ -40,7 +40,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	learning.RunTests(budget)
+	if err := learning.RunTests(budget); err != nil {
+		log.Fatal(err)
+	}
 
 	// Fleet B: the same fleet with the LLM arm frozen (the pre-PR
 	// behaviour), as the comparison baseline.
@@ -50,7 +52,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	frozen.RunTests(budget)
+	if err := frozen.RunTests(budget); err != nil {
+		log.Fatal(err)
+	}
 	defer frozen.Close()
 
 	h := learning.Hours()
@@ -85,7 +89,9 @@ func main() {
 	fmt.Printf("resumed learning fleet at round %d with bit-identical weights: %v\n",
 		resumed.Rounds(), same)
 
-	resumed.RunTests(budget + 96)
+	if err := resumed.RunTests(budget + 96); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter resume: %.2f%% merged coverage, %d tests\n", resumed.Coverage(), resumed.Tests())
 	fmt.Println()
 	fmt.Print(resumed.Shard(0).Det.Report())

@@ -47,6 +47,7 @@
 // trajectory bit. Config.UpdateBudget adaptively skips updates while
 // merged coverage is plateaued. Checkpoints (v4) carry the published
 // and staged weight vectors, making resume bit-exact even mid-lag.
+//chatfuzz:deterministic package
 package campaign
 
 import (
@@ -430,6 +431,10 @@ func (o *Orchestrator) RunRound() error {
 				deltas[i].mis = d.NovelSignatures() - m0
 			}
 			if finished != nil {
+				// Execution-only: the timestamps become RoundProbe wait
+				// durations (Config.Probe), which are never checkpointed
+				// and never feed scheduling or trajectory state.
+				//lint:allow wallclock probe timing is execution-only measurement
 				finished[i] = time.Now()
 			}
 		}(i, s)
@@ -508,6 +513,7 @@ func (o *Orchestrator) RunRound() error {
 	skip := o.Cfg.UpdateBudget > 0 && o.plateau >= o.Cfg.UpdateBudget
 	var learn0 time.Time
 	if probe != nil {
+		//lint:allow wallclock probe timing is execution-only measurement
 		learn0 = time.Now()
 	}
 	for _, fl := range o.fleets {
@@ -516,6 +522,7 @@ func (o *Orchestrator) RunRound() error {
 		}
 	}
 	if probe != nil {
+		//lint:allow wallclock probe timing is execution-only measurement
 		probe.LearnWait = time.Since(learn0)
 		probe.BarrierWait = probe.SimWait + probe.LearnWait
 		o.probes = append(o.probes, *probe)

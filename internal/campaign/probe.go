@@ -55,6 +55,11 @@ type RoundProbe struct {
 // ProbeSummary key sets flicker between rounds.
 func migrationDelta(cur, prev map[string]int) map[string]int {
 	out := make(map[string]int, len(cur))
+	// Map→map diff keyed identically on both sides: each entry is
+	// computed independently, so iteration order cannot reach the
+	// result. Consumers render via the sorted-name idiom (String) or
+	// JSON (which sorts map keys).
+	//lint:allow mapiter order-insensitive map-to-map diff
 	for name, m := range cur {
 		out[name] = m - prev[name]
 	}
@@ -103,6 +108,9 @@ func (o *Orchestrator) ProbeSummary() ProbeSummary {
 		s.Steals += p.Steals
 		s.Helped += p.Helped
 		s.Migrations += p.Migrations
+		// Commutative integer sums into a map keyed the same way:
+		// iteration order cannot reach the totals.
+		//lint:allow mapiter order-insensitive commutative sum
 		for name, n := range p.MigrationsByDesign {
 			s.MigrationsByDesign[name] += n
 		}

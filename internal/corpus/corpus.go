@@ -14,6 +14,7 @@
 // instructions within one function are interdependent and data/control
 // flow entangled, and operand diversity is bounded so the 16-bit
 // parcel tokenizer's vocabulary stays compact.
+//chatfuzz:deterministic package
 package corpus
 
 import (

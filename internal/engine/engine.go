@@ -41,6 +41,7 @@
 // (Config.Pool; see the FleetPool documentation in fleetpool.go for
 // the affinity queues, steal policy, helping committers and the
 // commit-order invariant that keeps stealing bit-identical).
+//chatfuzz:deterministic package
 package engine
 
 import (

@@ -3,6 +3,7 @@
 // at a configurable scale. DESIGN.md §5 maps experiment ids (E1–E8,
 // A1–A3) to the functions here; EXPERIMENTS.md records paper-vs-
 // measured values.
+//chatfuzz:deterministic package
 package exp
 
 import (

@@ -7,6 +7,7 @@
 // disassembler" reward agent of ChatFuzz's training step 2, the decoder
 // of both simulated cores, and the assembler used by the synthetic
 // corpus generator.
+//chatfuzz:deterministic package
 package isa
 
 import "fmt"

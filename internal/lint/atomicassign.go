@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomic is a native port of the stock `atomic` vet pass (the x/tools
+// original cannot be vendored in this offline build): it flags
+//
+//	x = atomic.AddInt64(&x, 1)
+//
+// — assigning an atomic read-modify-write's result back to its own
+// operand with a plain (non-atomic) store, which races with every
+// concurrent atomic access to x and silently un-atomics the counter.
+var Atomic = &Analyzer{
+	Name:   "atomic",
+	Doc:    "plain assignment of an atomic.Add result back to its operand (port of the stock atomic vet pass)",
+	Scoped: false,
+	Run:    runAtomic,
+}
+
+func runAtomic(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || !isPkgFunc(fn, "sync/atomic") || !strings.HasPrefix(fn.Name(), "Add") {
+					continue
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					continue
+				}
+				if types.ExprString(addr.X) == types.ExprString(as.Lhs[i]) {
+					pass.Reportf(as.Pos(), "direct assignment of atomic.%s result back to %s defeats the atomicity; drop the assignment",
+						fn.Name(), types.ExprString(as.Lhs[i]))
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Copylocks is a native port of the stock `copylocks` vet pass (the
+// x/tools original cannot be vendored in this offline build): it
+// flags values of lock-containing types — anything carrying a
+// sync.Mutex, WaitGroup, or other Lock/Unlock pair — copied by value
+// through parameters, results, receivers, range variables, plain
+// assignments, or call arguments. A copied lock splits one critical
+// section into two that no longer exclude each other; in this fleet
+// that is how a barrier stops being a barrier.
+var Copylocks = &Analyzer{
+	Name:   "copylocks",
+	Doc:    "value copy of a lock-containing type (port of the stock copylocks vet pass)",
+	Scoped: false,
+	Run:    runCopylocks,
+}
+
+func runCopylocks(pass *Pass) {
+	c := &copyChecker{pass: pass, cache: make(map[types.Type]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					c.checkFieldList(n.Recv, "receiver")
+				}
+				c.checkFuncType(n.Type)
+			case *ast.FuncLit:
+				c.checkFuncType(n.Type)
+			case *ast.RangeStmt:
+				c.checkExprCopy(n.Key, "range key")
+				c.checkExprCopy(n.Value, "range value")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) != len(n.Rhs) {
+						break
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					c.checkRHSCopy(rhs)
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion: reported at the target's declaration
+				}
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsBuiltin() {
+					return true // len, cap, new(T), ... don't copy values
+				}
+				for _, arg := range n.Args {
+					c.checkRHSCopyAt(arg, arg, "call argument")
+				}
+			}
+			return true
+		})
+	}
+}
+
+type copyChecker struct {
+	pass  *Pass
+	cache map[types.Type]bool
+}
+
+func (c *copyChecker) checkFuncType(ft *ast.FuncType) {
+	c.checkFieldList(ft.Params, "parameter")
+	if ft.Results != nil {
+		c.checkFieldList(ft.Results, "result")
+	}
+}
+
+func (c *copyChecker) checkFieldList(fl *ast.FieldList, what string) {
+	for _, field := range fl.List {
+		t := c.pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !c.containsLock(t) {
+			continue
+		}
+		c.pass.Reportf(field.Type.Pos(), "%s passes lock by value: %s contains a lock", what, t.String())
+	}
+}
+
+// checkExprCopy flags a range variable whose type copies a lock.
+func (c *copyChecker) checkExprCopy(e ast.Expr, what string) {
+	if e == nil {
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil || !c.containsLock(t) {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "%s copies lock value: %s contains a lock", what, t.String())
+}
+
+// checkRHSCopy flags an assignment RHS that copies an existing
+// lock-containing value. Composite literals construct a fresh value
+// and are fine; so is taking an address.
+func (c *copyChecker) checkRHSCopy(rhs ast.Expr) {
+	c.checkRHSCopyAt(rhs, rhs, "assignment")
+}
+
+func (c *copyChecker) checkRHSCopyAt(rhs ast.Expr, at ast.Expr, what string) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit:
+		// Fresh values, addresses and call results: the copy (if any)
+		// is reported where the value was produced or declared.
+		return
+	}
+	if tv, ok := c.pass.TypesInfo.Types[rhs]; ok && !tv.IsValue() {
+		return // type operand of new(T), make(T, ...), conversions
+	}
+	t := c.pass.TypesInfo.TypeOf(rhs)
+	if t == nil || !c.containsLock(t) {
+		return
+	}
+	c.pass.Reportf(at.Pos(), "%s copies lock value: %s contains a lock", what, t.String())
+}
+
+// containsLock reports whether a value of type t embeds a lock by
+// value: the type (or a struct field / array element, recursively)
+// has Lock and Unlock methods in its pointer method set. This is the
+// same test the stock pass uses, and it catches sync.Mutex, RWMutex,
+// WaitGroup, Once, Cond, Pool, Map and the noCopy convention alike.
+func (c *copyChecker) containsLock(t types.Type) bool {
+	if v, ok := c.cache[t]; ok {
+		return v
+	}
+	c.cache[t] = false // cut recursive types
+	v := c.lockType(t)
+	c.cache[t] = v
+	return v
+}
+
+func (c *copyChecker) lockType(t types.Type) bool {
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	if lookupMethod(ms, "Lock") && lookupMethod(ms, "Unlock") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.containsLock(u.Elem())
+	}
+	return false
+}
+
+func lookupMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// errdropTargets names the module's determinism-critical calls whose
+// error results must never be discarded. RunRound/RunRounds/RunTests
+// surface barrier failures that poison the fleet (PR 6 converted
+// these from panics — a dropped error now silently runs on
+// inconsistent state), and MergeWords is the barrier merge itself,
+// whose error means a shard's coverage space diverged from the fleet
+// global. The check keys on method name + an error-typed final result
+// + a module-local callee, so it follows the methods through wrappers
+// without a hard dependency on the defining package.
+var errdropTargets = map[string]bool{
+	"RunRound":   true,
+	"RunRounds":  true,
+	"RunTests":   true,
+	"MergeWords": true,
+}
+
+// Errdrop flags discarded errors from the fleet's round-execution and
+// barrier-merge calls, in every package (not just annotated scope):
+// an ignored barrier failure is wrong in a CLI or example exactly as
+// it is in the orchestrator.
+var Errdrop = &Analyzer{
+	Name:   "errdrop",
+	Doc:    "discarded error from RunRound/RunRounds/RunTests or a barrier-merge call",
+	Scoped: false,
+	Run:    runErrdrop,
+}
+
+func runErrdrop(pass *Pass) {
+	target := func(call *ast.CallExpr) string {
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !errdropTargets[fn.Name()] {
+			return ""
+		}
+		if !pass.InModule(fn.Pkg()) || !lastResultIsError(fn) {
+			return ""
+		}
+		return fn.Name()
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name := target(call); name != "" {
+						pass.Reportf(call.Pos(), "%s returns a fleet-poisoning error that is discarded; handle it", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name := target(n.Call); name != "" {
+					pass.Reportf(n.Call.Pos(), "%s error is unobservable from a go statement; call it where the error can be handled", name)
+				}
+			case *ast.DeferStmt:
+				if name := target(n.Call); name != "" {
+					pass.Reportf(n.Call.Pos(), "%s error is discarded by defer; handle it", name)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := target(call)
+				if name == "" {
+					return true
+				}
+				last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident)
+				if ok && last.Name == "_" {
+					pass.Reportf(last.Pos(), "%s error assigned to _; handle it", name)
+				}
+			}
+			return true
+		})
+	}
+}

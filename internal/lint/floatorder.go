@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatorder flags floating-point accumulation whose iteration order
+// is not fixed: `sum += x` (and friends) on a float accumulator that
+// outlives the loop body, inside a `range` over a map. Float addition
+// is not associative, so even an "order-insensitive" reduction
+// diverges bitwise between runs when the map hands out its entries in
+// a different order — exactly the failure mode the fixed pairwise
+// tournament in fleetlearn's weight averaging exists to prevent.
+// Integer accumulation in the same position is commutative and is
+// left to mapiter's judgment.
+var Floatorder = &Analyzer{
+	Name:   "floatorder",
+	Doc:    "floating-point accumulation over unordered map iteration (fix the iteration order; float addition is not associative)",
+	Scoped: true,
+	Run:    runFloatorder,
+}
+
+func runFloatorder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, ok := mapRange(pass.TypesInfo, rs); !ok {
+				return true
+			}
+			checkFloatAccum(pass, rs)
+			return true
+		})
+	}
+}
+
+func checkFloatAccum(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			lhs := as.Lhs[0]
+			if accumulatesFloat(pass.TypesInfo, lhs, rs) {
+				pass.Reportf(as.Pos(), "floating-point accumulation into %s depends on the unordered iteration order of map %s",
+					types.ExprString(lhs), types.ExprString(rs.X))
+			}
+		case token.ASSIGN:
+			// x = x + v (first operand spelled the same as the target).
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			lhs := as.Lhs[0]
+			if types.ExprString(bin.X) != types.ExprString(lhs) {
+				return true
+			}
+			if accumulatesFloat(pass.TypesInfo, lhs, rs) {
+				pass.Reportf(as.Pos(), "floating-point accumulation into %s depends on the unordered iteration order of map %s",
+					types.ExprString(lhs), types.ExprString(rs.X))
+			}
+		}
+		return true
+	})
+}
+
+// accumulatesFloat reports whether lhs is a float-typed accumulator
+// that survives across iterations: a variable declared outside the
+// loop body, or any field/element lvalue. A float local declared
+// inside the body resets every iteration and cannot observe order.
+func accumulatesFloat(info *types.Info, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(lhs)
+	if t == nil || !isFloat(t) {
+		return false
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		// Declared inside the loop body → per-iteration, order-blind.
+		if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrandConstructors are the math/rand functions that build a new
+// source or generator rather than drawing from the package-level one;
+// they are the plumbing the rule demands, so they pass.
+var globalrandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Globalrand flags package-level math/rand (and math/rand/v2) calls
+// in deterministic scope: the global source is seeded once per
+// process and shared across goroutines, so values drawn from it can
+// never replay. All campaign randomness must flow from checkpointed
+// seeds through an explicitly plumbed *rand.Rand (the per-round
+// armSeed streams); methods on such a generator pass, package-level
+// draws do not.
+var Globalrand = &Analyzer{
+	Name:   "globalrand",
+	Doc:    "package-level math/rand draws in deterministic scope (plumb a seeded *rand.Rand from a checkpointed seed)",
+	Scoped: true,
+	Run:    runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !isPkgFunc(fn, "math/rand", "math/rand/v2") {
+				return true
+			}
+			if globalrandConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global source in deterministic scope; plumb a *rand.Rand seeded from a checkpointed seed", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is a package-level function (not a
+// method) of one of the named packages.
+func isPkgFunc(fn *types.Func, pkgPaths ...string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, p := range pkgPaths {
+		if fn.Pkg().Path() == p {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// lastResultIsError reports whether fn's final result is the error
+// interface.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(sig.Results().Len()-1).Type(), errorType)
+}
+
+// mapRange returns the ranged-over map type when rs iterates a map.
+func mapRange(info *types.Info, rs *ast.RangeStmt) (*types.Map, bool) {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return nil, false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return m, ok
+}
+
+// eachStmtList invokes fn on every statement list of the file (block
+// bodies, switch cases, select clauses), so callers can inspect a
+// statement together with the statements that follow it in the same
+// list.
+func eachStmtList(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// unlabel strips labels from a statement: `L: for ... {}` checks the
+// same as the bare loop.
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+// isFloat reports whether t is (or aliases) a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

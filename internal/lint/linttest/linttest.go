@@ -1,0 +1,108 @@
+// Package linttest is the fixture harness for the determinism lint
+// suite: an analysistest-style runner (the x/tools original cannot be
+// vendored in this offline build) that applies analyzers to a golden
+// package under testdata/src and checks the findings against `want`
+// comments.
+//
+// A want comment annotates the source line a diagnostic must land on:
+//
+//	for _, v := range m { // want "iteration over unordered map"
+//
+// The quoted string is a regexp matched against the diagnostic
+// message; several want comments may share a line. The block form
+// /* want "..." */ works too. Every want must be hit by at least one
+// diagnostic and every diagnostic must hit a want, so fixtures pin
+// both the positives and the silence of the suppression paths.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"chatfuzz/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`(?://|/\*) want "((?:[^"\\]|\\.)*)"`)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package at srcRoot/pkgPath, applies the
+// analyzers, and reports any mismatch between findings and the
+// package's want comments as test failures.
+func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loader, err := lint.NewLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", pkgPath, len(pkgs))
+	}
+
+	wants, err := parseWants(pkgs[0].Dir)
+	if err != nil {
+		t.Fatalf("parse want comments: %v", err)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants scans every fixture file for want comments.
+func parseWants(dir string) ([]*want, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				out = append(out, &want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return out, nil
+}

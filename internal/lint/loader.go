@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	// PkgPath is the import path ("chatfuzz/internal/campaign"), or
+	// the bare directory name for fixture trees without a go.mod.
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	loader *Loader
+}
+
+// Loader parses and type-checks module packages without
+// golang.org/x/tools: module-local imports are resolved recursively
+// from source, everything else (the standard library) goes through
+// the compiler's source importer, so loading works with no module
+// proxy, no build cache and no export data.
+type Loader struct {
+	// RootDir is the module root (the directory holding go.mod), or
+	// the src root of a fixture tree.
+	RootDir string
+	// ModulePath is the module's import-path prefix from go.mod.
+	// Empty for fixture trees: then any import whose path names a
+	// directory under RootDir resolves module-locally.
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	owned   map[*types.Package]bool
+	loading map[string]bool // import-cycle guard
+}
+
+// NewLoader builds a loader rooted at root. If root/go.mod exists its
+// module path scopes local import resolution; otherwise the loader is
+// in fixture mode.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		RootDir: abs,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		owned:   make(map[*types.Package]bool),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
+		l.ModulePath = modulePath(string(data))
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the patterns — "./...", "dir/...", or plain relative
+// directories, all relative to RootDir — and returns the matched
+// packages, loading them and their module-local imports as needed.
+// Directories named testdata, vendor, or starting with "." or "_"
+// are skipped by the recursive forms, matching the go tool.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walk(l.RootDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.RootDir, strings.TrimSuffix(pat, "/..."))
+			walked, err := l.walk(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		default:
+			add(filepath.Join(l.RootDir, pat))
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walk collects the directories under base that contain buildable
+// non-test Go files.
+func (l *Loader) walk(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory under RootDir to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.RootDir, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModulePath == "" {
+		return rel, nil
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + rel, nil
+}
+
+// dirFor maps a module-local import path back to its directory, or
+// ok=false if the path is not module-local.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.RootDir, true
+		}
+		if rel, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.RootDir, filepath.FromSlash(rel)), true
+		}
+		return "", false
+	}
+	// Fixture mode: a path is local when its directory exists.
+	dir := filepath.Join(l.RootDir, filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		return dir, true
+	}
+	return "", false
+}
+
+// owns reports whether the loader type-checked p (vs the stdlib
+// importer).
+func (l *Loader) owns(p *types.Package) bool { return l.owned[p] }
+
+// loadDir parses and type-checks the package in dir (memoized).
+// Returns (nil, nil) when dir holds no buildable non-test Go files.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	pkg := &Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.fset,
+		Syntax:  files,
+		Types:   tpkg,
+		Info:    info,
+		loader:  l,
+	}
+	l.pkgs[path] = pkg
+	l.owned[tpkg] = true
+	return pkg, nil
+}
+
+// loaderImporter adapts the loader into a types.ImporterFrom that
+// resolves module-local paths itself and defers the rest to the
+// source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if local, ok := l.dirFor(path); ok {
+		pkg, err := l.loadDir(local)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", local)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

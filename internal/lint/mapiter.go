@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mapiter flags `range` over a map in deterministic scope: map
+// iteration order is randomized per run, so any map range whose body
+// feeds ordered state — checkpoint encoding, coverage merge, weight
+// averaging, report rows — breaks bit-exact replay.
+//
+// The one blessed shape is the sorted-keys idiom, which the analyzer
+// recognizes and accepts without an annotation:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys { ... m[k] ... }
+//
+// (collecting the map's values instead of its keys and sorting those
+// is accepted the same way). A map range that collects into a slice
+// but never sorts it is reported with a dedicated message. Loops that
+// are genuinely order-insensitive — commutative integer sums, map→map
+// copies — take //lint:allow mapiter <reason>.
+var Mapiter = &Analyzer{
+	Name:   "mapiter",
+	Doc:    "unordered map iteration in deterministic scope (use the collect-and-sort idiom, or //lint:allow mapiter <reason> when order-insensitive)",
+	Scoped: true,
+	Run:    runMapiter,
+}
+
+func runMapiter(pass *Pass) {
+	for _, f := range pass.Files {
+		eachStmtList(f, func(list []ast.Stmt) {
+			for i, s := range list {
+				rs, ok := unlabel(s).(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if _, ok := mapRange(pass.TypesInfo, rs); !ok {
+					continue
+				}
+				switch dest := collectIdiom(pass.TypesInfo, rs); {
+				case dest == nil:
+					pass.Reportf(rs.For, "iteration over unordered map %s in deterministic scope; collect and sort keys first, or //lint:allow mapiter <reason> if order-insensitive",
+						types.ExprString(rs.X))
+				case !sortedLater(pass.TypesInfo, list[i+1:], dest):
+					pass.Reportf(rs.For, "map entries collected into %s are never sorted in this block; sort before use or //lint:allow mapiter <reason>",
+						dest.Name())
+				}
+			}
+		})
+	}
+}
+
+// collectIdiom reports whether the range body is exactly the
+// collect-into-a-slice idiom — `dst = append(dst, k)` for the range's
+// key or value variable — and returns the destination slice's object.
+func collectIdiom(info *types.Info, rs *ast.RangeStmt) types.Object {
+	if len(rs.Body.List) != 1 {
+		return nil
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" ||
+		info.Uses[fn] != types.Universe.Lookup("append") {
+		return nil
+	}
+	if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); !ok || info.Uses[base] != info.ObjectOf(dst) {
+		return nil
+	}
+	elem, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" && info.ObjectOf(id) == info.Uses[elem] {
+			return info.ObjectOf(dst)
+		}
+	}
+	return nil
+}
+
+// sortedLater reports whether any statement after the collecting loop
+// passes the destination slice to a sort/slices call.
+func sortedLater(info *types.Info, tail []ast.Stmt, dest types.Object) bool {
+	found := false
+	for _, s := range tail {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(info, call)
+			if !isPkgFunc(fn, "sort", "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				argUses := false
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && info.Uses[id] == dest {
+						argUses = true
+					}
+					return !argUses
+				})
+				if argUses {
+					found = true
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

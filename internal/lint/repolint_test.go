@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"chatfuzz/internal/lint"
+)
+
+// TestRepoIsClean is the meta-test behind the CI gate: the whole
+// module must pass every determinism analyzer at HEAD, so a change
+// that introduces a violation (or leaves a dead //lint:allow behind)
+// fails `go test ./...` as well as `fuzzlint ./...`.
+func TestRepoIsClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("load ./...: no packages")
+	}
+	for _, d := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,34 @@
+// Fixture for the directive grammar itself: live allows suppress and
+// stay silent, dead allows are reported, and malformed or unknown
+// directives are findings of the unsuppressible "directive"
+// pseudo-analyzer.
+//
+//chatfuzz:deterministic
+package allowdir
+
+import "time"
+
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:allow wallclock execution-only fixture probe
+}
+
+func suppressedAbove() time.Time {
+	//lint:allow wallclock execution-only fixture probe
+	return time.Now()
+}
+
+func deadEscape() {
+	/*lint:allow wallclock nothing here to suppress*/ // want "lint:allow wallclock suppresses nothing"
+}
+
+func unknownAnalyzer() {
+	/*lint:allow nosuch because reasons*/ // want "unknown analyzer"
+}
+
+func missingReason() {
+	/*lint:allow wallclock*/ // want "lint:allow wallclock needs a reason"
+}
+
+//chatfuzz:bogus knob // want "unknown chatfuzz directive"
+
+//chatfuzz:deterministic everything // want "malformed deterministic directive"

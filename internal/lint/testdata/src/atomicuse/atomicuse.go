@@ -1,0 +1,25 @@
+// Fixture for the native atomic port: storing an atomic.Add result
+// back into its own operand with a plain assignment is a finding;
+// dropping the result or binding it to a fresh variable passes. The
+// analyzer is unscoped, so no deterministic annotation is needed.
+package atomicuse
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func bad(c *counter) {
+	c.n = atomic.AddInt64(&c.n, 1) // want "direct assignment of atomic.AddInt64 result back to c.n"
+}
+
+func badLocal() int64 {
+	var x int64
+	x = atomic.AddInt64(&x, 1) // want "direct assignment of atomic.AddInt64 result back to x"
+	return x
+}
+
+func good(c *counter) int64 {
+	atomic.AddInt64(&c.n, 1)
+	v := atomic.AddInt64(&c.n, 1)
+	return v
+}

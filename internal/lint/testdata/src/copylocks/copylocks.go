@@ -1,0 +1,60 @@
+// Fixture for the native copylocks port: by-value flow of a
+// lock-containing type through parameters, results, receivers, range
+// variables, assignments and call arguments is a finding; pointers,
+// addresses and freshly constructed composite literals pass. The
+// analyzer is unscoped, so no deterministic annotation is needed.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var shared guarded
+
+func byValueParam(g guarded) { // want "parameter passes lock by value"
+	g.mu.Lock()
+}
+
+func byValueResult() (g guarded) { // want "result passes lock by value"
+	return
+}
+
+func (g guarded) byValueReceiver() int { // want "receiver passes lock by value"
+	return g.n
+}
+
+func rangeCopy(gs []guarded) int {
+	t := 0
+	for _, g := range gs { // want "range value copies lock value"
+		t += g.n
+	}
+	return t
+}
+
+func assignCopy() {
+	b := shared // want "assignment copies lock value"
+	b.n++
+}
+
+func consume(g guarded) {} // want "parameter passes lock by value"
+
+func callArg() {
+	consume(shared) // want "call argument copies lock value"
+}
+
+func pointerFlow(g *guarded) *guarded {
+	// Pointers and addresses never copy the lock.
+	take(&shared)
+	return g
+}
+
+func take(p *guarded) {}
+
+func freshValue() {
+	// A composite literal constructs a new value; no lock is copied.
+	c := guarded{n: 1}
+	c.n++
+}

@@ -1,0 +1,65 @@
+// Fixture for the floatorder analyzer: float accumulators that
+// outlive a map-range body are findings (compound and spelled-out
+// forms, locals, fields and map entries); integer accumulation and
+// per-iteration float locals pass.
+//
+//chatfuzz:deterministic
+package floatorder
+
+func compound(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum"
+	}
+	return sum
+}
+
+func spelledOut(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "floating-point accumulation into sum"
+	}
+	return sum
+}
+
+type stats struct{ total float64 }
+
+func field(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.total += v // want "floating-point accumulation into s.total"
+	}
+}
+
+func mapEntry(m map[string]float64, out map[string]float64) {
+	//lint:allow mapiter the mapiter verdict is not under test here
+	for k, v := range m {
+		// Same-key collisions still accumulate in map order.
+		out[k[:1]] += v // want "floating-point accumulation into out"
+	}
+}
+
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // integers commute bit-exactly
+	}
+	return sum
+}
+
+func perIterationLocal(m map[string]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		d := v
+		d *= 2 // local to the body: resets every iteration
+		last = d
+	}
+	return last
+}
+
+func sliceAccum(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v // slice order is fixed
+	}
+	return sum
+}

@@ -1,0 +1,25 @@
+// Fixture for the globalrand analyzer: package-level math/rand draws
+// are findings; explicitly plumbed *rand.Rand generators pass.
+//
+//chatfuzz:deterministic
+package globalrand
+
+import "math/rand"
+
+func global() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return rand.Intn(10)               // want "rand.Intn draws from the process-global source"
+}
+
+func seedTheGlobal() {
+	rand.Seed(42) // want "rand.Seed draws from the process-global source"
+}
+
+func plumbed(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func passedIn(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

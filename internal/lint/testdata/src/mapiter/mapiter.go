@@ -1,0 +1,79 @@
+// Fixture for the mapiter analyzer: bare map ranges are findings,
+// the collect-and-sort idiom passes, collecting without sorting gets
+// its own message, and //lint:allow silences order-insensitive loops.
+//
+//chatfuzz:deterministic
+package mapiter
+
+import (
+	"sort"
+	"strings"
+)
+
+func bare(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want "iteration over unordered map m"
+		t += v
+	}
+	return t
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type rec struct {
+	name  string
+	count int
+}
+
+func sortedValues(m map[string]*rec) []*rec {
+	out := make([]*rec, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].count > out[j].count })
+	return out
+}
+
+func collectedNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "collected into keys are never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func allowed(m map[string]int, other map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//lint:allow mapiter order-insensitive map-to-map diff
+	for k, v := range m {
+		out[k] = v - other[k]
+	}
+	return out
+}
+
+func labeled(m map[string]bool) string {
+	var b strings.Builder
+outer: // labels don't hide the loop from the check
+	for k := range m { // want "iteration over unordered map m"
+		if k == "stop" {
+			break outer
+		}
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sliceRangeIsFine(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,6 @@
+// Package pkgscope demonstrates the package form of the annotation:
+// the directive below puts every file of the package in deterministic
+// scope, including files that carry no annotation of their own.
+//
+//chatfuzz:deterministic package
+package pkgscope

@@ -1,0 +1,9 @@
+package pkgscope
+
+import "time"
+
+// now lives in a file with no annotation, but the package-form
+// directive in doc.go pulls it into scope anyway.
+func now() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

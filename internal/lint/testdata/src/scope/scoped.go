@@ -1,0 +1,12 @@
+// scoped.go opts into the deterministic scope with the file form of
+// the annotation; unscoped.go holds identical code without it and
+// stays invisible to the scoped analyzers.
+//
+//chatfuzz:deterministic file
+package scope
+
+import "time"
+
+func scopedNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,9 @@
+package scope
+
+import "time"
+
+// unscopedNow is the same wall-clock read as scoped.go, but this file
+// carries no deterministic annotation, so no finding lands here.
+func unscopedNow() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the time-package functions that read or arm the
+// wall clock. Any of them in a deterministic path lets real time leak
+// into replayable state; virtual time (internal/vtime) is the only
+// clock deterministic code may consult.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock flags wall-clock reads (time.Now, time.Since, timer
+// construction) in deterministic scope. Execution-only measurement —
+// scheduler probes, benchmark timing — whose results provably never
+// reach checkpointed or trajectory state is annotated at the call
+// site with //lint:allow wallclock <reason>.
+var Wallclock = &Analyzer{
+	Name:   "wallclock",
+	Doc:    "wall-clock reads in deterministic scope (use internal/vtime; //lint:allow wallclock <reason> for execution-only probes)",
+	Scoped: true,
+	Run:    runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !isPkgFunc(fn, "time") || !wallclockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in deterministic scope; use virtual time, or //lint:allow wallclock <reason> for execution-only measurement", fn.Name())
+			return true
+		})
+	}
+}

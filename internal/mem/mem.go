@@ -1,6 +1,7 @@
 // Package mem provides the sparse physical memory shared by the
 // golden-model ISS and the DUT core models, plus the loadable image
 // format produced by the program builder.
+//chatfuzz:deterministic package
 package mem
 
 import (

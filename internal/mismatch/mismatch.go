@@ -5,6 +5,7 @@
 // automated clustering of raw mismatches into unique signatures, and
 // classification of signatures into the known findings (Bug1, Bug2,
 // Findings 1–3).
+//chatfuzz:deterministic package
 package mismatch
 
 import (
@@ -356,6 +357,8 @@ func (d *Detector) SetState(st State) {
 // extra field.
 func (d *Detector) NovelSignatures() int {
 	n := 0
+	// Commutative count over the cluster set: order cannot reach n.
+	//lint:allow mapiter order-insensitive count
 	for _, r := range d.unique {
 		if !r.Filtered {
 			n++
@@ -383,6 +386,9 @@ func (d *Detector) Unique() []*Record {
 // one non-filtered record.
 func (d *Detector) Findings() map[Finding]int {
 	out := make(map[Finding]int)
+	// Commutative integer sums bucketed by finding: iteration order
+	// cannot reach the totals.
+	//lint:allow mapiter order-insensitive commutative sum
 	for _, r := range d.unique {
 		if !r.Filtered && r.Finding != FindingUnknown {
 			out[r.Finding] += r.Count

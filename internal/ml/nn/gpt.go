@@ -2,6 +2,7 @@
 // LLM-based Input Generator, with a PPO value head, an Adam optimizer,
 // and a KV-cached incremental sampler for fast generation inside the
 // fuzzing loop.
+//chatfuzz:deterministic package
 package nn
 
 import (

@@ -5,6 +5,7 @@
 // against a frozen reference model, and KL/reward/loss monitoring
 // ("we monitored the PPO algorithm's loss, the Kullback-Leibler
 // divergence between optimization policies, and the mean rewards").
+//chatfuzz:deterministic package
 package ppo
 
 import (

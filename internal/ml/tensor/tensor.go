@@ -8,6 +8,7 @@
 // transformer workload (matmul, layer norm, GELU, fused causal
 // attention, embedding gather, cross-entropy) rather than offering
 // general broadcasting.
+//chatfuzz:deterministic package
 package tensor
 
 import (

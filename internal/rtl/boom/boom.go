@@ -15,6 +15,7 @@
 // issue queue and store queue — drives the condition coverage and the
 // cycle count. This is the standard functional-executor + timing-model
 // simulator split.
+//chatfuzz:deterministic package
 package boom
 
 import (
@@ -715,6 +716,10 @@ func (st *run) observeMulDiv(op isa.Op, a, b uint64) {
 func (st *run) observeCSR(inst isa.Inst) {
 	p := &st.b.p
 	c := st.set
+	// Each entry sets its own distinct coverage bit from a pure
+	// predicate of the instruction; iteration order cannot reach the
+	// bitmap. (Bin IDs were defined in fixed slice order at build.)
+	//lint:allow mapiter order-insensitive per-bin condition probes
 	for addr, id := range p.csrAddr {
 		c.Cond(id, addr == inst.CSR)
 	}

@@ -16,6 +16,7 @@
 //     exceptions (the spec and the ISS do the opposite).
 //   - Finding2: AMOs with rd=x0 report a write to x0 in the trace.
 //   - Finding3: loads with rd=x0 report a write to x0 in the trace.
+//chatfuzz:deterministic package
 package rocket
 
 import (
@@ -430,6 +431,10 @@ func (st *run) trap(e *trace.Entry, cause, tval uint64) {
 		st.set.Cond(p.trapCause[c], c == cause)
 	}
 	if st.prv == isa.PrivU {
+		// Each entry sets its own distinct coverage bit from a pure
+		// predicate of (cause); no entry reads another's effect, so
+		// iteration order cannot reach the bitmap.
+		//lint:allow mapiter order-insensitive per-bin condition probes
 		for c, id := range p.trapCauseU {
 			st.set.Cond(id, c == cause)
 		}
@@ -823,9 +828,14 @@ func (st *run) observeRegion(addr uint64, write bool) {
 func (st *run) observeCSR(inst isa.Inst) {
 	p := &st.r.p
 	c := st.set
+	// Each entry sets its own distinct coverage bit from a pure
+	// predicate of the instruction; iteration order cannot reach the
+	// bitmap. (Bin IDs were defined in fixed slice order at build.)
+	//lint:allow mapiter order-insensitive per-bin condition probes
 	for addr, id := range p.csrAddr {
 		c.Cond(id, addr == inst.CSR)
 	}
+	//lint:allow mapiter order-insensitive per-bin condition probes
 	for k, id := range p.csrOpAddr {
 		c.Cond(id, k.op == inst.Op && k.csr == inst.CSR)
 	}

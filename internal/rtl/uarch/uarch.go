@@ -7,6 +7,7 @@
 // The blocks are deliberately free of coverage hooks; the core models
 // observe their outcomes and record the condition points, so each core
 // has its own coverage space over the same structures.
+//chatfuzz:deterministic package
 package uarch
 
 // CacheConfig sizes a set-associative cache.
