@@ -30,11 +30,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"chatfuzz/internal/campaign"
 	"chatfuzz/internal/core"
@@ -42,6 +44,7 @@ import (
 	"chatfuzz/internal/rtl"
 	"chatfuzz/internal/rtl/boom"
 	"chatfuzz/internal/rtl/rocket"
+	"chatfuzz/internal/telemetry"
 )
 
 // campaignMain runs the orchestrator subcommand with its own flag set.
@@ -68,6 +71,11 @@ func campaignMain(args []string) {
 		detect     = fs.Bool("detect", false, "enable differential testing in every shard")
 		checkpoint = fs.String("checkpoint", "", "checkpoint file to write after the run")
 		resume     = fs.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
+		traceFile  = fs.String("trace", "", "write a Chrome trace-event JSON file of the run's spans (open in Perfetto or chrome://tracing); execution-only, trajectories are unaffected")
+		metricsF   = fs.String("metrics", "", "write periodic JSONL metrics snapshots to this file (implies -probe); execution-only")
+		metricsDt  = fs.Duration("metrics-every", 5*time.Second, "snapshot interval for -metrics")
+		telemAddr  = fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060, :0 picks a port)")
+		probeJSON  = fs.String("probe-json", "", "dump per-round scheduler probes as JSONL to this file after the run (implies -probe)")
 	)
 	fs.Parse(args)
 
@@ -133,6 +141,70 @@ func campaignMain(args []string) {
 		}
 	}
 
+	// Observability plumbing (execution-only: none of it can move a
+	// trajectory bit). Built before the fleet so the recorder and
+	// registry reach every layer at construction; the deferred closers
+	// run after the orchestrator's own deferred Close, so spans from
+	// off-barrier training joined at Close still land in the trace.
+	var rec *telemetry.Recorder
+	var reg *telemetry.Registry
+	if *resume {
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{{*traceFile != "", "trace"}, {*metricsF != "", "metrics"}, {*telemAddr != "", "telemetry-addr"}, {*probeJSON != "", "probe-json"}} {
+			if f.set {
+				fmt.Printf("warning: -%s is ignored with -resume (telemetry wires at fleet construction, which resume rebuilds from the checkpoint)\n", f.name)
+			}
+		}
+	} else {
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+			rec = telemetry.NewRecorder(tf)
+			defer func() {
+				if err := rec.Close(); err != nil {
+					log.Printf("trace: %v", err)
+				}
+				if n := rec.Dropped(); n > 0 {
+					fmt.Printf("trace: %d events dropped to ring overwrites (rings drain per round; shorten rounds or expect gaps)\n", n)
+				}
+				tf.Close()
+				fmt.Printf("trace written to %s\n", *traceFile)
+			}()
+		}
+		if *metricsF != "" || *telemAddr != "" {
+			reg = telemetry.NewRegistry()
+		}
+		if *metricsF != "" {
+			mf, err := os.Create(*metricsF)
+			if err != nil {
+				log.Fatalf("metrics: %v", err)
+			}
+			snap := telemetry.NewSnapshotter(mf, reg, *metricsDt)
+			defer func() {
+				if err := snap.Stop(); err != nil {
+					log.Printf("metrics: %v", err)
+				}
+				mf.Close()
+				fmt.Printf("metrics snapshots written to %s\n", *metricsF)
+			}()
+		}
+		if *telemAddr != "" {
+			addr, closeSrv, err := telemetry.Serve(*telemAddr, reg)
+			if err != nil {
+				log.Fatalf("telemetry-addr: %v", err)
+			}
+			fmt.Printf("telemetry endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+			defer closeSrv()
+		}
+	}
+	// Probe-derived metrics and the probe dump both need the per-round
+	// probes recorded.
+	wantProbe := *probe || (!*resume && (*metricsF != "" || *probeJSON != ""))
+
 	var o *campaign.Orchestrator
 	var err error
 	if *resume {
@@ -166,11 +238,13 @@ func campaignMain(args []string) {
 			Serial:         *serial,
 			FleetPool:      *fleetPool,
 			PoolWorkers:    *poolWork,
-			Probe:          *probe,
+			Probe:          wantProbe,
 			Detect:         *detect,
 			MismatchWeight: *mweight,
 			OffBarrier:     *offBarrier,
 			UpdateBudget:   *budget,
+			Telemetry:      rec,
+			Metrics:        reg,
 		}, newDUTs, arms...)
 		if err != nil {
 			log.Fatalf("campaign: %v", err)
@@ -188,6 +262,12 @@ func campaignMain(args []string) {
 			fmt.Printf("fleet pool: %d workers, %d jobs (%d stolen, %d helped), %d migrations\n",
 				st.Workers, st.Submitted, st.Stolen, st.Helped, st.Migrations)
 		}
+	}
+	if *probeJSON != "" && !*resume {
+		if err := writeProbeJSON(*probeJSON, o.Probes()); err != nil {
+			log.Fatalf("probe-json: %v", err)
+		}
+		fmt.Printf("per-round probes written to %s\n", *probeJSON)
 	}
 	// Use the orchestrator's own config here, not the flags: on -resume
 	// the checkpoint's shard count and detect setting win.
@@ -249,6 +329,25 @@ func campaignMain(args []string) {
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}
+}
+
+// writeProbeJSON dumps per-round scheduler probes as JSON Lines: one
+// RoundProbe object per line (durations in nanoseconds, Go's
+// time.Duration serialization), consumable by jq without loading the
+// whole run.
+func writeProbeJSON(path string, probes []campaign.RoundProbe) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range probes {
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func main() {

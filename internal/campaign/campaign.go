@@ -63,6 +63,7 @@ import (
 	"chatfuzz/internal/engine"
 	"chatfuzz/internal/fleetlearn"
 	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/telemetry"
 )
 
 // Config parameterises an orchestrated fleet.
@@ -168,6 +169,25 @@ type Config struct {
 	// checkpoint is byte-identical to a serial run's); resumed fleets
 	// therefore always run on the engine path.
 	Serial bool `json:"-"`
+	// Telemetry, when non-nil, wires a span flight recorder through
+	// every layer of the fleet: per-worker build/sim/golden spans and
+	// steal/help/migrate events in the engines and the fleet pool,
+	// generate/commit spans per shard, round/barrier spans on the
+	// orchestrator's track and train spans on each learning arm's.
+	// The rings drain (Flush) at every round barrier. Telemetry
+	// observes and never steers: trajectories, weights and checkpoint
+	// bytes are bit-identical with it on or off, which is why — like
+	// Serial and FleetPool — it is an execution detail excluded from
+	// checkpoints.
+	Telemetry *telemetry.Recorder `json:"-"`
+	// Metrics, when non-nil, receives a fleet-state metrics update at
+	// every round barrier (coverage, tests, virtual hours, per-design
+	// coverage, per-arm bandit pulls and rewards, mismatch cluster
+	// counts, pool scheduling counters, probe wait histograms; see
+	// README.md's Observability section for the series names).
+	// Execution-only, like Telemetry. Implies nothing about Probe —
+	// but probe-derived series are only recorded when Probe is set.
+	Metrics *telemetry.Registry `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -220,7 +240,10 @@ type Orchestrator struct {
 	// pool is the fleet-level work-stealing execution pool
 	// (Config.FleetPool); the orchestrator owns it and closes it
 	// after the shard engines.
-	pool   *engine.FleetPool
+	pool *engine.FleetPool
+	// track carries the orchestrator's round/barrier spans (nil when
+	// telemetry is off).
+	track  *telemetry.Track
 	probes []RoundProbe
 	merged []core.ProgressPoint
 	round  int
@@ -271,9 +294,10 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 		specs:   specs,
 		bandit:  NewUCB1(len(specs), cfg.ExploreC),
 		globals: make(map[string]*cov.Set),
+		track:   cfg.Telemetry.NewTrack("orchestrator"),
 	}
 	if cfg.FleetPool {
-		o.pool = engine.NewFleetPool(engine.FleetConfig{Workers: cfg.PoolWorkers})
+		o.pool = engine.NewFleetPool(engine.FleetConfig{Workers: cfg.PoolWorkers, Telemetry: cfg.Telemetry})
 	}
 	replicas := make([][]*fleetlearn.Replica, len(specs))
 	for s := 0; s < cfg.Shards; s++ {
@@ -305,11 +329,13 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 			}
 		}
 		fuz := core.NewFuzzer(rec[0], dut, core.Options{
-			BatchSize: cfg.BatchSize,
-			Detect:    cfg.Detect,
-			Parallel:  cfg.Parallel,
-			Serial:    cfg.Serial,
-			Pool:      o.pool,
+			BatchSize:      cfg.BatchSize,
+			Detect:         cfg.Detect,
+			Parallel:       cfg.Parallel,
+			Serial:         cfg.Serial,
+			Pool:           o.pool,
+			Telemetry:      cfg.Telemetry,
+			TelemetryLabel: fmt.Sprintf("shard%d/%s", s, dut.Name()),
 		})
 		name := dut.Name()
 		if g, ok := o.globals[name]; ok {
@@ -339,6 +365,7 @@ func NewMixed(cfg Config, newDUTs []func() rtl.DUT, specs ...ArmSpec) (*Orchestr
 			o.Close()
 			return nil, fmt.Errorf("campaign: learning arm %q: %w", specs[i].Name, err)
 		}
+		fl.Track = cfg.Telemetry.NewTrack("learn/" + specs[i].Name)
 		o.fleets[i] = fl
 	}
 	return o, nil
@@ -386,6 +413,7 @@ func (o *Orchestrator) RunRound() error {
 	if o.err != nil {
 		return o.err
 	}
+	roundT := o.track.Start()
 	n := len(o.shards)
 	o.bandit.Discount(o.Cfg.BanditDecay)
 	picks := make([]int, n)
@@ -468,6 +496,7 @@ func (o *Orchestrator) RunRound() error {
 	}
 
 	// Barrier: merge bitmaps and credit the bandit in shard order.
+	barrierT := o.track.Start()
 	roundAdded := 0
 	for i, s := range o.shards {
 		added, err := o.globals[o.designs[i]].MergeWords(s.fuz.Calc.Total().Snapshot())
@@ -527,13 +556,75 @@ func (o *Orchestrator) RunRound() error {
 		probe.BarrierWait = probe.SimWait + probe.LearnWait
 		o.probes = append(o.probes, *probe)
 	}
+	o.track.Span(telemetry.SpanBarrier, barrierT)
 	o.round++
 	o.merged = append(o.merged, core.ProgressPoint{
 		Tests:    o.tests,
 		Hours:    o.Hours(),
 		Coverage: o.Coverage(),
 	})
+	o.track.Span(telemetry.SpanRound, roundT)
+	// Round commit is the flight recorder's drain point: rings fill
+	// during the round, stream out here, off every shard's hot path.
+	o.recordMetrics(roundAdded, probe)
+	o.Cfg.Telemetry.Flush()
 	return nil
+}
+
+// probeWaitBounds buckets the probe wait histograms, in milliseconds.
+var probeWaitBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// recordMetrics publishes the fleet's post-barrier state into
+// Cfg.Metrics. Pure observation: every value is read from state the
+// barrier already computed, and nothing here is ever read back.
+func (o *Orchestrator) recordMetrics(roundAdded int, probe *RoundProbe) {
+	g := o.Cfg.Metrics
+	if g == nil {
+		return
+	}
+	g.Gauge("fleet/rounds").Set(float64(o.round))
+	g.Gauge("fleet/tests").Set(float64(o.tests))
+	g.Gauge("fleet/virtual_hours").Set(o.Hours())
+	g.Gauge("fleet/coverage_pct").Set(o.Coverage())
+	g.Counter("coverage/new_bins").Add(int64(roundAdded))
+	for _, n := range o.names {
+		g.Gauge("coverage/"+n+"_pct").Set(o.globals[n].Percent())
+	}
+	for i, sp := range o.specs {
+		g.Gauge("arm/"+sp.Name+"/pulls").Set(float64(o.bandit.Pulls[i]))
+		g.Gauge("arm/"+sp.Name+"/mean_reward").Set(o.bandit.Mean(i))
+	}
+	if o.Cfg.Detect {
+		novel, raw, filtered := 0, 0, 0
+		for _, s := range o.shards {
+			if d := s.fuz.Det; d != nil {
+				novel += d.NovelSignatures()
+				raw += d.RawCount
+				filtered += d.FilteredRaw
+			}
+		}
+		g.Gauge("mismatch/novel_signatures").Set(float64(novel))
+		g.Gauge("mismatch/raw").Set(float64(raw))
+		g.Gauge("mismatch/raw_filtered").Set(float64(filtered))
+	}
+	if o.pool != nil {
+		st := o.pool.Stats()
+		g.Gauge("pool/workers").Set(float64(st.Workers))
+		g.Gauge("pool/submitted").Set(float64(st.Submitted))
+		g.Gauge("pool/executed").Set(float64(st.Executed))
+		g.Gauge("pool/helped").Set(float64(st.Helped))
+		g.Gauge("pool/steals").Set(float64(st.Stolen))
+		g.Gauge("pool/migrations").Set(float64(st.Migrations))
+		g.Gauge("pool/worker_busy_ms").Set(float64(st.WorkerBusy) / float64(time.Millisecond))
+		g.Gauge("pool/helper_busy_ms").Set(float64(st.HelperBusy) / float64(time.Millisecond))
+	}
+	if probe != nil {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		g.Histogram("probe/sim_wait_ms", probeWaitBounds...).Observe(ms(probe.SimWait))
+		g.Histogram("probe/learn_wait_ms", probeWaitBounds...).Observe(ms(probe.LearnWait))
+		g.Histogram("probe/barrier_wait_ms", probeWaitBounds...).Observe(ms(probe.BarrierWait))
+		g.Histogram("probe/spread_ms", probeWaitBounds...).Observe(ms(probe.Spread))
+	}
 }
 
 // plateauOf recomputes the zero-new-coverage plateau counter from a

@@ -7,6 +7,7 @@ package campaign
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"chatfuzz/internal/mem"
 	"chatfuzz/internal/mismatch"
 	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/telemetry"
 	"chatfuzz/internal/trace"
 )
 
@@ -32,6 +34,18 @@ var execPaths = []execPath{
 	// on a background goroutine overlapped with the next round, yet
 	// trajectories and checkpoint bytes must match the serial loop.
 	{"off-barrier", func(c *Config) { c.FleetPool = true; c.PoolWorkers = 3; c.OffBarrier = true }},
+	// Full observability on top of everything: flight recorder, metrics
+	// registry and probes all armed. Telemetry is execution-only, so the
+	// trajectory AND the checkpoint bytes must still match the serial
+	// loop bit for bit — the acceptance property of the telemetry plane.
+	{"telemetry", func(c *Config) {
+		c.FleetPool = true
+		c.PoolWorkers = 3
+		c.OffBarrier = true
+		c.Probe = true
+		c.Telemetry = telemetry.NewRecorder(io.Discard)
+		c.Metrics = telemetry.NewRegistry()
+	}},
 }
 
 // TestFleetPoolDeterminismTable is the acceptance property of the

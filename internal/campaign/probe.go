@@ -67,10 +67,26 @@ func migrationDelta(cur, prev map[string]int) map[string]int {
 }
 
 // Probes returns the per-round scheduler measurements recorded so far
-// (Config.Probe only).
+// (Config.Probe only). The probes are fully independent copies: the
+// MigrationsByDesign maps are cloned per round, not aliased, so a
+// caller mutating a returned probe (or holding it across later rounds)
+// cannot corrupt the orchestrator's record — a plain copy() would
+// share the map headers.
 func (o *Orchestrator) Probes() []RoundProbe {
 	out := make([]RoundProbe, len(o.probes))
 	copy(out, o.probes)
+	for i := range out {
+		if m := out[i].MigrationsByDesign; m != nil {
+			c := make(map[string]int, len(m))
+			// Verbatim map→map copy: iteration order cannot reach the
+			// result.
+			//lint:allow mapiter order-insensitive map copy
+			for k, v := range m {
+				c[k] = v
+			}
+			out[i].MigrationsByDesign = c
+		}
+	}
 	return out
 }
 

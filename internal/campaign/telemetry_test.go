@@ -1,0 +1,172 @@
+package campaign
+
+// Tests for the observability plane: the flight-recorder trace an
+// instrumented fleet emits, the metrics registry the barrier updates,
+// and the independence of returned probes from orchestrator state.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/telemetry"
+)
+
+// traceNames decodes a completed Chrome trace and returns the set of
+// event names it contains.
+func traceNames(t *testing.T, b []byte) map[string]bool {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	names := make(map[string]bool, len(events))
+	for _, e := range events {
+		if n, ok := e["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	return names
+}
+
+// TestTelemetryTraceCoversEveryLayer: a learning fleet on the shared
+// pool with off-barrier training must leave spans from every
+// instrumented layer in its trace — generation and commit from the
+// shard fuzzers, build/sim/golden from the engine workers, round and
+// barrier from the orchestrator, train from the off-barrier learner.
+func TestTelemetryTraceCoversEveryLayer(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Shards: 4, BatchSize: 4, Seed: 41, Detect: true,
+		FleetPool: true, PoolWorkers: 3, OffBarrier: true,
+		Telemetry: telemetry.NewRecorder(&buf),
+	}
+	o, err := NewMixed(cfg, []func() rtl.DUT{newRocket, newBoom}, learnArms(learnPipeline())...)
+	if err != nil {
+		t.Fatalf("NewMixed: %v", err)
+	}
+	if err := o.RunRounds(3); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	o.Close() // joins off-barrier training, so its train span is recorded
+	if err := cfg.Telemetry.Close(); err != nil {
+		t.Fatalf("recorder Close: %v", err)
+	}
+
+	names := traceNames(t, buf.Bytes())
+	for _, want := range []string{
+		telemetry.SpanGenerate, telemetry.SpanBuild, telemetry.SpanSim,
+		telemetry.SpanGolden, telemetry.SpanCommit,
+		telemetry.SpanRound, telemetry.SpanBarrier, telemetry.SpanTrain,
+	} {
+		if !names[want] {
+			t.Errorf("trace has no %q span (got %v)", want, names)
+		}
+	}
+}
+
+// TestMetricsMatchOrchestratorState: the registry's post-run gauges
+// must agree with the orchestrator's own accessors — the metrics plane
+// observes, it does not recompute.
+func TestMetricsMatchOrchestratorState(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		Shards: 4, BatchSize: 4, Seed: 43, Detect: true,
+		FleetPool: true, PoolWorkers: 3, Probe: true,
+		Metrics: reg,
+	}
+	o, err := NewMixed(cfg, []func() rtl.DUT{newRocket, newBoom}, testArms()...)
+	if err != nil {
+		t.Fatalf("NewMixed: %v", err)
+	}
+	defer o.Close()
+	if err := o.RunRounds(3); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+
+	s := reg.Snapshot()
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := s.Gauges[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("fleet/rounds", float64(o.Rounds()))
+	check("fleet/tests", float64(o.Tests()))
+	check("fleet/coverage_pct", o.Coverage())
+	for _, d := range o.Designs() {
+		check("coverage/"+d+"_pct", o.DesignCoverage(d))
+	}
+	rep := o.Report()
+	for _, a := range rep.Arms {
+		check("arm/"+a.Name+"/pulls", float64(a.Pulls))
+		check("arm/"+a.Name+"/mean_reward", a.MeanReward)
+	}
+	st, ok := o.PoolStats()
+	if !ok {
+		t.Fatal("no pool stats on a FleetPool fleet")
+	}
+	check("pool/submitted", float64(st.Submitted))
+	check("pool/steals", float64(st.Stolen))
+	// Probe was on, so the wait histograms must have one sample per round.
+	for _, h := range []string{"probe/sim_wait_ms", "probe/learn_wait_ms", "probe/barrier_wait_ms", "probe/spread_ms"} {
+		if got := s.Histograms[h].Count; got != int64(o.Rounds()) {
+			t.Errorf("%s has %d samples, want %d", h, got, o.Rounds())
+		}
+	}
+	if s.Counters["coverage/new_bins"] <= 0 {
+		t.Error("coverage/new_bins counter never advanced")
+	}
+}
+
+// TestProbesAreDeepCopies: mutating a probe returned by Probes() —
+// including its MigrationsByDesign map — must not reach the
+// orchestrator's own record. A shallow slice copy aliased the maps.
+func TestProbesAreDeepCopies(t *testing.T) {
+	o, err := NewMixed(Config{Shards: 4, BatchSize: 4, Seed: 45, FleetPool: true, PoolWorkers: 2, Probe: true},
+		[]func() rtl.DUT{newRocket, newBoom}, testArms()...)
+	if err != nil {
+		t.Fatalf("NewMixed: %v", err)
+	}
+	defer o.Close()
+	if err := o.RunRounds(2); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+
+	got := o.Probes()
+	if len(got) != 2 {
+		t.Fatalf("recorded %d probes, want 2", len(got))
+	}
+	if got[0].MigrationsByDesign == nil {
+		t.Fatal("fleet-pool probe has no MigrationsByDesign map")
+	}
+	before := o.Probes()
+	got[0].MigrationsByDesign["poisoned"] = 999
+	got[0].Steals = -1
+	after := o.Probes()
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("mutating a returned probe changed the orchestrator's record:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if _, leaked := after[0].MigrationsByDesign["poisoned"]; leaked {
+		t.Error("returned probe aliases the orchestrator's MigrationsByDesign map")
+	}
+}
+
+// TestProbeSummaryZeroRounds: a probed fleet that never ran a round
+// must summarise (and render) cleanly, not panic on empty state.
+func TestProbeSummaryZeroRounds(t *testing.T) {
+	o := mustNew(t, Config{Shards: 2, BatchSize: 4, Probe: true})
+	defer o.Close()
+	s := o.ProbeSummary()
+	if s.Rounds != 0 || s.Steals != 0 || s.BarrierWait != 0 {
+		t.Errorf("zero-round summary is not zero: %+v", s)
+	}
+	if str := s.String(); str == "" {
+		t.Error("zero-round summary renders empty")
+	}
+	if probes := o.Probes(); len(probes) != 0 {
+		t.Errorf("zero rounds recorded %d probes", len(probes))
+	}
+}

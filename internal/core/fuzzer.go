@@ -10,6 +10,7 @@ import (
 	"chatfuzz/internal/mismatch"
 	"chatfuzz/internal/prog"
 	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/telemetry"
 	"chatfuzz/internal/trace"
 	"chatfuzz/internal/vtime"
 )
@@ -49,6 +50,14 @@ type Options struct {
 	// the reference implementation for determinism tests and as the
 	// baseline for the engine benchmarks.
 	Serial bool
+	// Telemetry, when non-nil, records the fuzzer's generate and
+	// commit spans on its own flight-recorder track (and is handed to
+	// the engine for per-worker build/sim/golden spans). Execution-
+	// only: never checkpointed, never read back.
+	Telemetry *telemetry.Recorder
+	// TelemetryLabel names the fuzzer's track in the trace (default
+	// the DUT name; a sharded fleet passes "shard<N>/<design>").
+	TelemetryLabel string
 }
 
 // FeedbackFree is an optional Generator capability: a generator whose
@@ -85,6 +94,7 @@ type Fuzzer struct {
 
 	parallel int
 	eng      *engine.Engine
+	track    *telemetry.Track // generate/commit spans (nil = disabled)
 	closed   bool
 }
 
@@ -108,8 +118,18 @@ func NewFuzzer(gen Generator, dut rtl.DUT, opts Options) *Fuzzer {
 	if opts.Detect {
 		f.Det = mismatch.NewDetector()
 	}
+	label := opts.TelemetryLabel
+	if label == "" {
+		label = dut.Name()
+	}
+	f.track = opts.Telemetry.NewTrack(label)
 	if !opts.Serial {
-		f.eng = engine.New(dut, engine.Config{Workers: opts.Parallel, Detect: opts.Detect, Pool: opts.Pool})
+		f.eng = engine.New(dut, engine.Config{
+			Workers:   opts.Parallel,
+			Detect:    opts.Detect,
+			Pool:      opts.Pool,
+			Telemetry: opts.Telemetry,
+		})
 	}
 	return f
 }
@@ -204,7 +224,9 @@ func (f *Fuzzer) runBatch(k int, pre []prog.Program, nextK int) ([]cov.Scores, [
 	}
 	progs := pre
 	if progs == nil {
+		t := f.track.Start()
 		progs = f.Gen.GenerateBatch(k)
+		f.track.Span(telemetry.SpanGenerate, t)
 	}
 	scores := make([]cov.Scores, len(progs))
 	var next []prog.Program
@@ -215,12 +237,16 @@ func (f *Fuzzer) runBatch(k int, pre []prog.Program, nextK int) ([]cov.Scores, [
 			// Double buffer: round N+1's generation overlaps round N's
 			// DUT/ISS simulation. Safe only when Feedback is a no-op,
 			// so the generator stream is identical to the serial order.
+			t := f.track.Start()
 			next = f.Gen.GenerateBatch(nextK)
+			f.track.Span(telemetry.SpanGenerate, t)
 		}
 		f.Calc.BeginBatch()
+		t := f.track.Start()
 		round.Each(func(i int, o *engine.Outcome) {
 			scores[i] = f.commitOne(o.Err, o.Res, o.Golden)
 		})
+		f.track.Span(telemetry.SpanCommit, t)
 	} else {
 		type outcome struct {
 			res    rtl.Result
@@ -256,14 +282,18 @@ func (f *Fuzzer) runBatch(k int, pre []prog.Program, nextK int) ([]cov.Scores, [
 
 		// Deterministic, in-order accounting.
 		f.Calc.BeginBatch()
+		t := f.track.Start()
 		for i, o := range outs {
 			scores[i] = f.commitOne(o.err, o.res, o.golden)
 		}
+		f.track.Span(telemetry.SpanCommit, t)
 	}
 
 	f.Gen.Feedback(scores)
 	if nextK > 0 && next == nil {
+		t := f.track.Start()
 		next = f.Gen.GenerateBatch(nextK)
+		f.track.Span(telemetry.SpanGenerate, t)
 	}
 	return scores, next
 }

@@ -52,6 +52,7 @@ import (
 	"chatfuzz/internal/mem"
 	"chatfuzz/internal/prog"
 	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/telemetry"
 	"chatfuzz/internal/trace"
 )
 
@@ -70,6 +71,13 @@ type Config struct {
 	// it). See the FleetPool documentation for the affinity, commit
 	// order and determinism contract.
 	Pool *FleetPool
+	// Telemetry, when non-nil, records per-job build/sim/golden spans
+	// on per-worker flight-recorder tracks. Execution-only: spans
+	// observe the run and never reach scheduling or checkpointed
+	// state; nil disables recording at the cost of one branch per
+	// span. In fleet mode the pool's recorder is used when this one
+	// is nil.
+	Telemetry *telemetry.Recorder
 }
 
 // Outcome is the execution result of one program of a round.
@@ -130,8 +138,9 @@ type shared struct {
 	dut    rtl.DUT
 	design string // dut.Name(), the fleet pool's affinity key
 	detect bool
-	pool   *poolState // nil outside fleet mode
-	helper *worker    // committer-side scratch (fleet mode; only the
+	rec    *telemetry.Recorder // nil = telemetry disabled
+	pool   *poolState          // nil outside fleet mode
+	helper *worker             // committer-side scratch (fleet mode; only the
 	// engine's single committer goroutine touches it)
 
 	sets    pool[*cov.Set]
@@ -150,11 +159,12 @@ type worker struct {
 	runner  rtl.Runner
 	runners map[string]rtl.Runner // design → cached runner (nil entries
 	// mark designs whose DUT is not reusable)
-	gmem *mem.Memory // golden-model platform memory, lazily built
+	gmem  *mem.Memory      // golden-model platform memory, lazily built
+	track *telemetry.Track // per-worker span ring (nil = disabled)
 }
 
 func newWorker(sh *shared) *worker {
-	w := &worker{}
+	w := &worker{track: sh.rec.NewTrack(sh.design + "/worker")}
 	w.bind(sh)
 	return w
 }
@@ -189,7 +199,9 @@ func (w *worker) exec(r *Round, i int) {
 	o := &r.outs[i]
 	*o = Outcome{}
 	p := r.progs[i]
+	t := w.track.Start()
 	img, _, err := prog.Build(p)
+	w.track.Span(telemetry.SpanBuild, t)
 	if err != nil {
 		o.Err = err
 		r.markReady(i)
@@ -200,6 +212,7 @@ func (w *worker) exec(r *Round, i int) {
 		ck.useBegin(w, "worker")
 		defer ck.useEnd(w)
 	}
+	t = w.track.Start()
 	if w.runner != nil {
 		set, ok := sh.sets.get()
 		if ok {
@@ -221,7 +234,9 @@ func (w *worker) exec(r *Round, i int) {
 	} else {
 		o.Res = sh.dut.Run(img, budget)
 	}
+	w.track.Span(telemetry.SpanSim, t)
 	if sh.detect {
+		t = w.track.Start()
 		if w.gmem == nil {
 			w.gmem = mem.Platform()
 		}
@@ -234,6 +249,7 @@ func (w *worker) exec(r *Round, i int) {
 		}
 		o.Golden = GoldenRun(w.gmem, img, budget, buf)
 		o.pooledGolden = true
+		w.track.Span(telemetry.SpanGolden, t)
 	}
 	r.markReady(i)
 }
@@ -266,7 +282,7 @@ type Engine struct {
 // engine degrades to garbage, not to a goroutine leak.
 func New(dut rtl.DUT, cfg Config) *Engine {
 	e := &Engine{
-		sh:   &shared{dut: dut, design: dut.Name(), detect: cfg.Detect},
+		sh:   &shared{dut: dut, design: dut.Name(), detect: cfg.Detect, rec: cfg.Telemetry},
 		stop: make(chan struct{}),
 	}
 	e.round.cond = sync.NewCond(&e.round.mu)
@@ -277,10 +293,14 @@ func New(dut rtl.DUT, cfg Config) *Engine {
 		// rounds. No goroutines are owned, so Close releases nothing
 		// but the Submit guard.
 		e.sh.pool = cfg.Pool.ps
+		if e.sh.rec == nil {
+			e.sh.rec = e.sh.pool.rec
+		}
 		// The helper's claim affinity starts at the engine's own
 		// design so a committer's first help prefers its own round's
 		// queue instead of stealing from the longest one.
-		e.sh.helper = &worker{cur: e.sh.design}
+		e.sh.helper = &worker{cur: e.sh.design,
+			track: e.sh.rec.NewTrack(e.sh.design + "/committer")}
 		e.workers = cfg.Pool.Workers()
 		runtime.SetFinalizer(e, (*Engine).Close)
 		return e

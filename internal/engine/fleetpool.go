@@ -55,6 +55,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"chatfuzz/internal/telemetry"
 )
 
 // FleetConfig parameterises a FleetPool.
@@ -62,6 +64,11 @@ type FleetConfig struct {
 	// Workers bounds concurrent simulations across the whole fleet
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Telemetry, when non-nil, gives every pool worker a flight-
+	// recorder track carrying its build/sim/golden spans and
+	// steal/help/migrate instant events, and is inherited by
+	// submitting engines' helping committers. Execution-only.
+	Telemetry *telemetry.Recorder
 }
 
 // FleetStats is a snapshot of a pool's scheduling counters.
@@ -135,6 +142,7 @@ type FleetPool struct {
 // engines and helping committers.
 type poolState struct {
 	workers int
+	rec     *telemetry.Recorder // nil = telemetry disabled
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -167,6 +175,7 @@ func NewFleetPool(cfg FleetConfig) *FleetPool {
 	}
 	ps := &poolState{
 		workers:   workers,
+		rec:       cfg.Telemetry,
 		queues:    make(map[string]*designQueue),
 		perDesign: make(map[string]int),
 	}
@@ -270,15 +279,18 @@ func (ps *poolState) claim(w *worker, helper bool) (jobRef, bool) {
 		q = ps.queues[victim]
 		if w.cur != "" {
 			ps.stolen++
+			w.track.Instant(telemetry.EventSteal)
 		}
 		if w.bound != "" && w.bound != victim {
 			ps.migrations++
 			ps.perDesign[victim]++
+			w.track.Instant(telemetry.EventMigrate)
 		}
 		w.cur = victim
 	}
 	if helper {
 		ps.helped++
+		w.track.Instant(telemetry.EventHelp)
 	} else {
 		ps.executed++
 	}
@@ -287,7 +299,7 @@ func (ps *poolState) claim(w *worker, helper bool) (jobRef, bool) {
 
 func (ps *poolState) workerLoop() {
 	defer ps.wg.Done()
-	w := &worker{}
+	w := &worker{track: ps.rec.NewTrack("pool/worker")}
 	for {
 		ps.mu.Lock()
 		j, ok := ps.claim(w, false)

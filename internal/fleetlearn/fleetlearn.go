@@ -57,6 +57,7 @@ import (
 
 	"chatfuzz/internal/ml/nn"
 	"chatfuzz/internal/ml/ppo"
+	"chatfuzz/internal/telemetry"
 )
 
 // Replica is one shard's view of the policy model: a sampling model
@@ -157,6 +158,13 @@ type Fleet struct {
 	replicas []*Replica
 	n        int // parameter count, for resume-path validation
 
+	// Track, when non-nil, records one "train" span per barrier
+	// training pass — on the barrier or overlapped with the next
+	// round, wherever the task actually ran. Set it before the first
+	// Barrier (the orchestrator does, from its recorder). Execution-
+	// only: spans never reach the staged weights or checkpoints.
+	Track *telemetry.Track
+
 	// staged is the joined-but-unpublished merge: trained on round
 	// N's rollouts, published to the sampling models at barrier N+1.
 	staged []float64
@@ -235,6 +243,7 @@ func (f *Fleet) Barrier(async, skip bool) int {
 		return len(parts)
 	}
 	task := func() []float64 {
+		t := f.Track.Start()
 		outs := make([][]float64, len(parts))
 		var wg sync.WaitGroup
 		for i := range parts {
@@ -245,7 +254,9 @@ func (f *Fleet) Barrier(async, skip bool) int {
 			}(i)
 		}
 		wg.Wait()
-		return pairwiseMean(outs)
+		merged := pairwiseMean(outs)
+		f.Track.Span(telemetry.SpanTrain, t)
+		return merged
 	}
 	if async {
 		f.inflight = make(chan []float64, 1)

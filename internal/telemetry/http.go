@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The HTTP endpoint for long soak runs: a JSON metrics snapshot at
+// /metrics, the expvar dump at /debug/vars (including this package's
+// registry, published once as "chatfuzz"), and the stock pprof
+// handlers at /debug/pprof/ for profiling a live fleet. Serving is
+// strictly read-only observation; nothing a client does can reach
+// scheduling or checkpointed state.
+
+// expvarOnce guards the process-global expvar publication (expvar
+// panics on duplicate names, and tests serve more than one registry).
+var (
+	expvarOnce sync.Once
+	expvarReg  *Registry
+	expvarMu   sync.Mutex
+)
+
+// Handler returns the telemetry endpoint's routes for the registry.
+func Handler(g *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Best-effort: the encoder's error is the client connection's.
+		_ = enc.Encode(g.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve publishes the registry under the expvar name "chatfuzz" and
+// serves Handler on addr (":0" picks a free port). It returns the
+// bound address and a closer that shuts the listener down.
+func Serve(addr string, g *Registry) (boundAddr string, closer func() error, err error) {
+	if g == nil {
+		return "", nil, fmt.Errorf("telemetry: Serve needs a registry")
+	}
+	expvarMu.Lock()
+	expvarReg = g
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("chatfuzz", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarReg.Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(g)}
+	go func() {
+		// Serve returns ErrServerClosed on Close; other errors mean the
+		// listener died, which the soak run tolerates (telemetry only).
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}
