@@ -444,6 +444,15 @@ func (r *rigDUT) Run(img mem.Image, maxInsts int) rtl.Result {
 // wait, and the steal/migration counts. The two runs' trajectories
 // are asserted (not just reported) to be bit-identical, so the ratio
 // measures pure scheduling efficiency.
+//
+// Since PR 9 both timed runs also carry the sub-round pipeline
+// (RoundBatches 2, Inflight 4): feedback-free rounds submit their
+// second batch while the first still simulates and drains through the
+// in-order committer, which keeps the pool's stealable queue full
+// between barriers. A third, untimed run on the seed fork-join loop
+// (Config.Serial — no engines, no pipeline) is the determinism
+// reference: the pipelined fleet pool must reproduce its trajectory
+// and checkpoint bytes bit for bit.
 func BenchmarkFleetPool(b *testing.B) {
 	// Test-scale pipeline: generation stays cheap next to the rig
 	// latency, as in the paper's regime, leaving the PPO update as
@@ -460,8 +469,12 @@ func BenchmarkFleetPool(b *testing.B) {
 		campaign.RandInstArm(benchBody),
 		campaign.RandFuzzArm(benchBody),
 	}
-	newFleet := func(fleet bool) *campaign.Orchestrator {
-		cfg := campaign.Config{Shards: 8, BatchSize: 16, Seed: 1, Detect: true, Probe: true, FleetPool: fleet}
+	newFleet := func(fleet, serial bool) *campaign.Orchestrator {
+		// RoundBatches and Inflight are identical across all three runs
+		// (Inflight is execution-only and the serial path ignores it),
+		// so the trajectories stay comparable bit for bit.
+		cfg := campaign.Config{Shards: 8, BatchSize: 16, RoundBatches: 2, Seed: 1, Detect: true,
+			Probe: true, Serial: serial, FleetPool: fleet, Inflight: 4}
 		if fleet {
 			// Rig work is latency-bound, not core-bound: workers beyond
 			// GOMAXPROCS still buy overlap, exactly as they would
@@ -474,19 +487,26 @@ func BenchmarkFleetPool(b *testing.B) {
 		}
 		return o
 	}
+	ckpt := func(o *campaign.Orchestrator) []byte {
+		var buf bytes.Buffer
+		if err := o.Checkpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
 	// Warm the harness caches and code paths outside the timings.
-	w := newFleet(true)
+	w := newFleet(true, false)
 	w.RunTests(128)
 	w.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
-		perShard := newFleet(false)
+		perShard := newFleet(false, false)
 		perShard.RunTests(tests)
 		tShard := time.Since(t0)
 
 		t1 := time.Now()
-		fleet := newFleet(true)
+		fleet := newFleet(true, false)
 		fleet.RunTests(tests)
 		tFleet := time.Since(t1)
 
@@ -499,6 +519,27 @@ func BenchmarkFleetPool(b *testing.B) {
 				b.Fatalf("fleet-pool trajectory diverges at round %d: %+v vs %+v", j, gotTraj[j], wantTraj[j])
 			}
 		}
+
+		// The pipelined pool against the seed fork-join loop: the
+		// strongest form of the determinism invariant — no engines, no
+		// window, no pool on the reference side — asserted on both the
+		// trajectory and the checkpoint bytes.
+		serialRef := newFleet(false, true)
+		serialRef.RunTests(tests)
+		refTraj := serialRef.Trajectory()
+		if len(refTraj) != len(gotTraj) {
+			b.Fatalf("serial reference trajectory has %d points, pipelined fleet has %d", len(refTraj), len(gotTraj))
+		}
+		for j := range refTraj {
+			if refTraj[j] != gotTraj[j] {
+				b.Fatalf("pipelined fleet diverges from the serial reference at round %d: %+v vs %+v",
+					j, gotTraj[j], refTraj[j])
+			}
+		}
+		if !bytes.Equal(ckpt(serialRef), ckpt(fleet)) {
+			b.Fatal("pipelined fleet checkpoint differs from the serial reference checkpoint")
+		}
+		serialRef.Close()
 
 		st, ok := fleet.PoolStats()
 		if !ok {
@@ -533,6 +574,15 @@ func BenchmarkFleetPool(b *testing.B) {
 		b.ReportMetric(fleet.Coverage(), "fleet_%")
 		vals["fleet_coverage_pct"] = fleet.Coverage()
 		emitBench(b, 5, vals)
+		b.ReportMetric(float64(fs.PipelinedBatches), "pipelined_batches")
+		b.ReportMetric(float64(fs.InflightDepth), "inflight_depth")
+		emitBench(b, 9, map[string]float64{
+			"fleet_speedup_x":   tShard.Seconds() / tFleet.Seconds(),
+			"pipelined_batches": float64(fs.PipelinedBatches),
+			"inflight_depth":    float64(fs.InflightDepth),
+			"snap_hits":         float64(fs.SnapHits),
+			"snap_misses":       float64(fs.SnapMisses),
+		})
 		perShard.Close()
 		fleet.Close()
 	}
@@ -840,13 +890,15 @@ func BenchmarkPPOStep(b *testing.B) {
 // serial-time over engine-time; the two runs produce bit-identical
 // trajectories (asserted by TestEngineMatchesSerialPath), so the ratio
 // measures pure execution efficiency: persistent workers, reusable
-// per-worker scratch, pooled coverage sets and trace buffers, and
-// generation double-buffered against simulation.
+// per-worker scratch, pooled coverage sets and trace buffers, the
+// per-worker decode cache and golden snapshot tree, and — with the
+// Inflight window — whole batches pipelined through the engine while
+// earlier batches drain through the in-order committer.
 func BenchmarkEngine(b *testing.B) {
 	const tests = 640
 	campaign := func(serial bool) time.Duration {
 		g := randfuzz.New(21, benchBody)
-		f := core.NewFuzzer(g, rocket.New(), core.Options{BatchSize: 16, Detect: true, Serial: serial})
+		f := core.NewFuzzer(g, rocket.New(), core.Options{BatchSize: 16, Detect: true, Serial: serial, Inflight: 4})
 		defer f.Close()
 		t0 := time.Now()
 		f.RunTests(tests)
@@ -864,6 +916,10 @@ func BenchmarkEngine(b *testing.B) {
 			"engine_speedup_x":   tSerial.Seconds() / tEngine.Seconds(),
 			"engine_tests_per_s": float64(tests) / tEngine.Seconds(),
 			"serial_tests_per_s": float64(tests) / tSerial.Seconds(),
+		})
+		emitBench(b, 9, map[string]float64{
+			"engine_speedup_x":   tSerial.Seconds() / tEngine.Seconds(),
+			"engine_tests_per_s": float64(tests) / tEngine.Seconds(),
 		})
 	}
 }

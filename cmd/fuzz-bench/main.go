@@ -54,10 +54,12 @@ func campaignMain(args []string) {
 		shards     = fs.Int("shards", 4, "concurrent campaigns")
 		tests      = fs.Int("tests", 2000, "total fleet test budget")
 		batch      = fs.Int("batch", 16, "tests per round per shard")
+		roundBatch = fs.Int("round-batches", 1, "batches per shard between aggregation barriers (amortises the barrier at coarser bandit feedback; >1 gives -inflight batches to overlap)")
 		body       = fs.Int("body", 24, "instructions per test")
 		seed       = fs.Int64("seed", 1, "campaign seed")
 		dutNames   = fs.String("dut", "rocket", "designs under test: comma list of rocket/boom; shards alternate designs")
 		parallel   = fs.Int("parallel", 1, "simulation workers per shard (0 = GOMAXPROCS)")
+		inflight   = fs.Int("inflight", 1, "in-flight batch window per shard: >1 overlaps batch generation/simulation with earlier batches' in-order commit for feedback-free arms (bit-identical trajectories; execution-only)")
 		serial     = fs.Bool("serial", false, "run the reference fork-join loop instead of the batch execution engine")
 		fleetPool  = fs.Bool("fleetpool", false, "share one fleet-level work-stealing execution pool across every shard (design-affine workers; bit-identical to -serial and per-shard pools)")
 		poolWork   = fs.Int("pool-workers", 0, "fleet pool workers (0 = GOMAXPROCS; requires -fleetpool)")
@@ -212,11 +214,11 @@ func campaignMain(args []string) {
 		// scheduling flags below would otherwise be silently ignored.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "shards", "batch", "seed", "parallel", "detect", "mismatch-weight", "update-budget":
+			case "shards", "batch", "round-batches", "seed", "parallel", "detect", "mismatch-weight", "update-budget":
 				fmt.Printf("warning: -%s is ignored with -resume (the checkpoint's value is used)\n", f.Name)
 			case "serial":
 				fmt.Println("warning: -serial is ignored with -resume (resumed fleets run on the engine path)")
-			case "fleetpool", "pool-workers", "probe":
+			case "fleetpool", "pool-workers", "probe", "inflight":
 				fmt.Printf("warning: -%s is ignored with -resume (execution details are not checkpointed; resumed fleets run per-shard engines)\n", f.Name)
 			}
 		})
@@ -233,8 +235,10 @@ func campaignMain(args []string) {
 		o, err = campaign.NewMixed(campaign.Config{
 			Shards:         *shards,
 			BatchSize:      *batch,
+			RoundBatches:   *roundBatch,
 			Seed:           *seed,
 			Parallel:       *parallel,
+			Inflight:       *inflight,
 			Serial:         *serial,
 			FleetPool:      *fleetPool,
 			PoolWorkers:    *poolWork,
@@ -299,8 +303,10 @@ func campaignMain(args []string) {
 		fo, err := campaign.NewMixed(campaign.Config{
 			Shards:         *shards,
 			BatchSize:      *batch,
+			RoundBatches:   *roundBatch,
 			Seed:           *seed,
 			Parallel:       *parallel,
+			Inflight:       *inflight,
 			Serial:         *serial,
 			FleetPool:      *fleetPool,
 			PoolWorkers:    *poolWork,

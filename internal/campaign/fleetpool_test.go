@@ -34,6 +34,17 @@ var execPaths = []execPath{
 	// on a background goroutine overlapped with the next round, yet
 	// trajectories and checkpoint bytes must match the serial loop.
 	{"off-barrier", func(c *Config) { c.FleetPool = true; c.PoolWorkers = 3; c.OffBarrier = true }},
+	// The sub-round pipeline on top of the off-barrier fleet pool:
+	// feedback-free arms overlap batch generation with earlier batches'
+	// simulation inside each round (the window stays closed for
+	// learning arms), yet every trajectory bit and checkpoint byte must
+	// match the strictly alternating serial loop.
+	{"pipelined", func(c *Config) {
+		c.FleetPool = true
+		c.PoolWorkers = 3
+		c.OffBarrier = true
+		c.Inflight = 3
+	}},
 	// Full observability on top of everything: flight recorder, metrics
 	// registry and probes all armed. Telemetry is execution-only, so the
 	// trajectory AND the checkpoint bytes must still match the serial
@@ -67,8 +78,11 @@ func TestFleetPoolDeterminismTable(t *testing.T) {
 					if shards == 16 {
 						rounds = 2 // keep the big fleets cheap
 					}
-					run := func(p execPath) ([]core.ProgressPoint, []byte) {
-						cfg := Config{Shards: shards, BatchSize: 4, Seed: 33, Detect: true}
+					run := func(p execPath) ([]core.ProgressPoint, []byte, int64) {
+						// RoundBatches 2 gives the pipelined path real overlap
+						// to exercise: with one batch per round the in-flight
+						// window never holds more than one batch.
+						cfg := Config{Shards: shards, BatchSize: 4, RoundBatches: 2, Seed: 33, Detect: true}
 						p.set(&cfg)
 						var arms []ArmSpec
 						if learn {
@@ -86,11 +100,23 @@ func TestFleetPoolDeterminismTable(t *testing.T) {
 						if err := o.Checkpoint(&buf); err != nil {
 							t.Fatalf("%s: Checkpoint: %v", p.name, err)
 						}
-						return o.Trajectory(), buf.Bytes()
+						pipelined := int64(0)
+						for s := 0; s < shards; s++ {
+							if st, ok := o.Shard(s).EngineStats(); ok {
+								pipelined += st.PipelinedRounds
+							}
+						}
+						return o.Trajectory(), buf.Bytes(), pipelined
 					}
-					wantTraj, wantCkpt := run(execPaths[0])
+					wantTraj, wantCkpt, _ := run(execPaths[0])
 					for _, p := range execPaths[1:] {
-						traj, ckpt := run(p)
+						traj, ckpt, pipelined := run(p)
+						// Guard the pipelined axis against silently
+						// degenerating: the free arms (randinst, randfuzz)
+						// must have overlapped batches at least once.
+						if p.name == "pipelined" && !learn && pipelined == 0 {
+							t.Errorf("%s ran but the sub-round pipeline never engaged", p.name)
+						}
 						if len(traj) != len(wantTraj) {
 							t.Fatalf("%s trajectory has %d points, serial has %d", p.name, len(traj), len(wantTraj))
 						}

@@ -35,6 +35,14 @@ type Options struct {
 	// Parallel bounds simulation workers (0 = GOMAXPROCS). Ignored
 	// when Pool is set.
 	Parallel int
+	// Inflight bounds submitted-but-uncommitted rounds per shard
+	// (<= 0 means 1, no sub-round pipelining). With Inflight N and a
+	// FeedbackFree generator, RunBatches/RunTests keep up to N rounds
+	// in flight: round N+1 generates and simulates while round N's
+	// in-order committer drains. Execution-only — the committed
+	// accounting stream is bit-identical to Inflight 1 — and inert on
+	// the Serial path.
+	Inflight int
 	// Pool, when non-nil, makes the fuzzer's engine a lightweight
 	// submitter into a shared fleet-level work-stealing pool instead
 	// of owning workers. Ownership does not transfer: Close releases
@@ -93,9 +101,21 @@ type Fuzzer struct {
 	Progress  []ProgressPoint
 
 	parallel int
+	inflight int
 	eng      *engine.Engine
 	track    *telemetry.Track // generate/commit spans (nil = disabled)
 	closed   bool
+
+	// Windowed-pipeline scratch, reused across RunBatches/RunTests
+	// calls so steady-state rounds commit without heap growth.
+	pend      []pipeSlot
+	scoreFree [][]cov.Scores
+}
+
+// pipeSlot is one submitted-but-uncommitted round of the window.
+type pipeSlot struct {
+	round  *engine.Round
+	scores []cov.Scores
 }
 
 // NewFuzzer assembles a campaign.
@@ -114,6 +134,10 @@ func NewFuzzer(gen Generator, dut rtl.DUT, opts Options) *Fuzzer {
 		Clk:       clk,
 		BatchSize: opts.BatchSize,
 		parallel:  opts.Parallel,
+		inflight:  opts.Inflight,
+	}
+	if f.inflight < 1 {
+		f.inflight = 1
 	}
 	if opts.Detect {
 		f.Det = mismatch.NewDetector()
@@ -126,6 +150,7 @@ func NewFuzzer(gen Generator, dut rtl.DUT, opts Options) *Fuzzer {
 	if !opts.Serial {
 		f.eng = engine.New(dut, engine.Config{
 			Workers:   opts.Parallel,
+			Inflight:  f.inflight,
 			Detect:    opts.Detect,
 			Pool:      opts.Pool,
 			Telemetry: opts.Telemetry,
@@ -305,6 +330,123 @@ func (f *Fuzzer) RunBatch() []cov.Scores {
 	return scores
 }
 
+// window returns the effective in-flight round window: pipelining
+// engages only on the engine path and only when the current generator
+// declares its Feedback a no-op, so the generation stream — which runs
+// ahead of commit by up to window-1 rounds — is identical to the
+// serial order.
+func (f *Fuzzer) window() int {
+	if f.eng == nil || f.inflight <= 1 || !f.feedbackFree() {
+		return 1
+	}
+	return f.inflight
+}
+
+// EngineStats returns the execution engine's cumulative pipelining and
+// snapshot-tree counters; ok is false on the serial path.
+func (f *Fuzzer) EngineStats() (engine.PipeStats, bool) {
+	if f.eng == nil {
+		return engine.PipeStats{}, false
+	}
+	return f.eng.PipeStats(), true
+}
+
+// runWindow is the pipelined round loop: it keeps up to window rounds
+// submitted-but-uncommitted, generating and simulating ahead while the
+// oldest round drains through the in-order committer. nextK returns
+// the size of the next round to submit (0 = no more rounds); it is
+// called in submission order, which runs ahead of f.Tests by the
+// rounds still in flight.
+//
+// Determinism: the generator stream is feedback-independent (window()
+// gates on FeedbackFree), rounds drain in submission order, each
+// round commits in input order, and BeginBatch/commit/Feedback happen
+// in exactly the serial loop's sequence — so the committed accounting
+// stream is bit-identical to the unpipelined path. The score buffers
+// are recycled after Feedback returns: safe because a FeedbackFree
+// generator does not retain them.
+func (f *Fuzzer) runWindow(window int, nextK func() int) {
+	if f.closed {
+		panic("core: RunBatch after Close")
+	}
+	done := false
+	submit := func() bool {
+		if done {
+			return false
+		}
+		k := nextK()
+		if k <= 0 {
+			done = true
+			return false
+		}
+		t := f.track.Start()
+		progs := f.Gen.GenerateBatch(k)
+		f.track.Span(telemetry.SpanGenerate, t)
+		var scores []cov.Scores
+		if n := len(f.scoreFree); n > 0 {
+			scores = f.scoreFree[n-1][:0]
+			f.scoreFree = f.scoreFree[:n-1]
+		}
+		for len(scores) < len(progs) {
+			scores = append(scores, cov.Scores{})
+		}
+		if len(f.pend) > 0 {
+			// The submission overlaps an undrained round: the pipeline
+			// is live. Recorded per shard-round on the fuzzer's track.
+			f.track.Instant(telemetry.EventPipeline)
+		}
+		f.pend = append(f.pend, pipeSlot{round: f.eng.Submit(progs), scores: scores[:len(progs)]})
+		return true
+	}
+	for submit() {
+		if len(f.pend) < window && !done {
+			continue
+		}
+		f.drainOldest()
+	}
+	for len(f.pend) > 0 {
+		f.drainOldest()
+	}
+}
+
+// drainOldest commits the window's oldest in-flight round.
+func (f *Fuzzer) drainOldest() {
+	s := f.pend[0]
+	copy(f.pend, f.pend[1:])
+	f.pend[len(f.pend)-1] = pipeSlot{}
+	f.pend = f.pend[:len(f.pend)-1]
+
+	f.Calc.BeginBatch()
+	t := f.track.Start()
+	s.round.Each(func(i int, o *engine.Outcome) {
+		s.scores[i] = f.commitOne(o.Err, o.Res, o.Golden)
+	})
+	f.track.Span(telemetry.SpanCommit, t)
+	f.Gen.Feedback(s.scores)
+	f.scoreFree = append(f.scoreFree, s.scores)
+}
+
+// RunBatches executes n fuzzing rounds of BatchSize tests. With
+// Options.Inflight > 1 and a FeedbackFree generator the rounds are
+// pipelined through the engine's in-flight window; otherwise this is
+// exactly n RunBatch calls.
+func (f *Fuzzer) RunBatches(n int) {
+	if w := f.window(); w > 1 && n > 1 {
+		left := n
+		f.runWindow(w, func() int {
+			if left == 0 {
+				return 0
+			}
+			left--
+			return f.BatchSize
+		})
+		return
+	}
+	for i := 0; i < n; i++ {
+		f.RunBatch()
+	}
+}
+
 // RunTests runs batches until exactly n tests have executed: the final
 // batch is clamped so campaigns with different batch sizes execute
 // identical test counts (RunTests(500) at BatchSize 16 used to run 512
@@ -312,8 +454,28 @@ func (f *Fuzzer) RunBatch() []cov.Scores {
 //
 // On the engine path the loop is double-buffered: while round N
 // simulates, round N+1's programs are generated, provided the
-// generator declares itself FeedbackFree.
+// generator declares itself FeedbackFree — and with Options.Inflight
+// > 1 whole rounds are pipelined through the engine's window, round
+// N+1 simulating while round N commits.
 func (f *Fuzzer) RunTests(n int) {
+	if w := f.window(); w > 1 {
+		// Batch sizes depend only on the planned (submitted) test
+		// count, the same clamped sequence the serial loop derives
+		// from the committed count.
+		planned := f.Tests
+		f.runWindow(w, func() int {
+			k := n - planned
+			if k <= 0 {
+				return 0
+			}
+			if k > f.BatchSize {
+				k = f.BatchSize
+			}
+			planned += k
+			return k
+		})
+		return
+	}
 	var pre []prog.Program
 	for f.Tests < n {
 		k := n - f.Tests

@@ -185,6 +185,16 @@ func (c *Set) Clone() *Set {
 	return out
 }
 
+// CopyFrom overwrites c's bits with src's (same space required). The
+// allocation-free counterpart of Clone for callers that own a
+// destination set already.
+func (c *Set) CopyFrom(src *Set) {
+	if c.space != src.space {
+		panic("cov: copying sets from different spaces")
+	}
+	copy(c.bits, src.bits)
+}
+
 // Reset clears all bins.
 func (c *Set) Reset() {
 	for i := range c.bits {
@@ -247,9 +257,12 @@ func (c *Calculator) Space() *Space { return c.space }
 func (c *Calculator) Total() *Set { return c.total }
 
 // BeginBatch snapshots the cumulative total; incremental coverage for
-// the following Score calls is computed against this snapshot.
+// the following Score calls is computed against this snapshot. The
+// snapshot set is reused across batches, keeping the per-round commit
+// path free of heap growth (asserted by the core alloc regression
+// test).
 func (c *Calculator) BeginBatch() {
-	c.snapshot = c.total.Clone()
+	c.snapshot.CopyFrom(c.total)
 }
 
 // Score evaluates one input's run coverage: merges it into the total
@@ -284,7 +297,7 @@ func (c *Calculator) RestoreTotal(words []uint64) error {
 	if err := c.total.LoadSnapshot(words); err != nil {
 		return err
 	}
-	c.snapshot = c.total.Clone()
+	c.snapshot.CopyFrom(c.total)
 	return nil
 }
 

@@ -47,8 +47,10 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"chatfuzz/internal/cov"
+	"chatfuzz/internal/iss"
 	"chatfuzz/internal/mem"
 	"chatfuzz/internal/prog"
 	"chatfuzz/internal/rtl"
@@ -62,6 +64,15 @@ type Config struct {
 	// Ignored when Pool is set: the fleet pool's workers execute
 	// every round.
 	Workers int
+	// Inflight bounds concurrently in-flight rounds (<= 0 means 1, the
+	// pre-pipelining behaviour: one round must be fully drained with
+	// Each before the next Submit). With Inflight N, a caller may keep
+	// up to N submitted-but-undrained rounds open, so round N+1
+	// simulates while round N's in-order committer drains — the
+	// sub-round pipeline. Rounds must still be drained in submission
+	// order; each Round's Each commits in input order, so the observable
+	// accounting stream is identical to Inflight 1.
+	Inflight int
 	// Detect additionally runs every test on the golden-model ISS.
 	Detect bool
 	// Pool, when non-nil, turns the engine into a lightweight
@@ -146,6 +157,40 @@ type shared struct {
 	sets    pool[*cov.Set]
 	traces  pool[[]trace.Entry]
 	goldens pool[[]trace.Entry]
+
+	// Round window state. Submit and Each are only ever called from
+	// the engine owner's single goroutine (the fuzzer/shard loop), so
+	// the free list and live counter need no lock; they live here
+	// rather than on Engine so Rounds never reference the Engine
+	// itself (see the finalizer note above).
+	freeRounds []*Round
+	liveRounds int
+
+	// Pipelining and golden snapshot-tree counters (see PipeStats).
+	// Atomic: snapshot hits/misses are bumped by concurrent workers;
+	// the depth counters only by the owner goroutine, but PipeStats
+	// may be read from another goroutine (probes).
+	pipelined  atomic.Int64
+	maxDepth   atomic.Int64
+	snapHits   atomic.Int64
+	snapMisses atomic.Int64
+}
+
+// PipeStats is a snapshot of an engine's pipelining and golden
+// snapshot-tree counters. All counters are cumulative over the
+// engine's life; campaign probes report per-round deltas.
+type PipeStats struct {
+	// PipelinedRounds counts Submits that overlapped an undrained
+	// earlier round — the sub-round pipeline actually engaging.
+	PipelinedRounds int64
+	// MaxInflight is the high-water mark of concurrently in-flight
+	// rounds (1 when the window never overlapped).
+	MaxInflight int64
+	// SnapHits counts golden runs that replayed a snapshot-tree
+	// prefix; SnapMisses counts tree-eligible golden runs that found
+	// no usable node and executed the body from the prologue snapshot.
+	SnapHits   int64
+	SnapMisses int64
 }
 
 // worker is one simulation context: reusable scratch bound to one
@@ -161,6 +206,13 @@ type worker struct {
 	// mark designs whose DUT is not reusable)
 	gmem  *mem.Memory      // golden-model platform memory, lazily built
 	track *telemetry.Track // per-worker span ring (nil = disabled)
+
+	// Golden-run acceleration state (see golden.go): the decode cache
+	// is design-independent (it serves the ISS, revalidated per fetch);
+	// the snapshot trees are keyed per design so a shared pool worker
+	// can never cross-replay between designs of a mixed fleet.
+	dcache *iss.DecodeCache
+	trees  map[string]*snapTree
 }
 
 func newWorker(sh *shared) *worker {
@@ -247,7 +299,7 @@ func (w *worker) exec(r *Round, i int) {
 				ck.checkOut(sliceKey(buf), "golden buffer")
 			}
 		}
-		o.Golden = GoldenRun(w.gmem, img, budget, buf)
+		o.Golden = w.goldenRun(sh, img, p.Body, budget, buf)
 		o.pooledGolden = true
 		w.track.Span(telemetry.SpanGolden, t)
 	}
@@ -264,15 +316,15 @@ type jobRef struct {
 // serves one fuzzing campaign (a core.Fuzzer or a campaign shard) for
 // its whole lifetime; its workers and scratch persist across rounds.
 type Engine struct {
-	sh      *shared
-	workers int
+	sh       *shared
+	workers  int
+	inflight int // round window bound (>= 1)
 
 	jobs chan jobRef
 	stop chan struct{}
 	once sync.Once
 
 	inline *worker // Workers == 1: synchronous path, no goroutines
-	round  Round   // reused across rounds; at most one in flight
 }
 
 // New builds an engine over dut and starts its workers.
@@ -282,11 +334,13 @@ type Engine struct {
 // engine degrades to garbage, not to a goroutine leak.
 func New(dut rtl.DUT, cfg Config) *Engine {
 	e := &Engine{
-		sh:   &shared{dut: dut, design: dut.Name(), detect: cfg.Detect, rec: cfg.Telemetry},
-		stop: make(chan struct{}),
+		sh:       &shared{dut: dut, design: dut.Name(), detect: cfg.Detect, rec: cfg.Telemetry},
+		stop:     make(chan struct{}),
+		inflight: cfg.Inflight,
 	}
-	e.round.cond = sync.NewCond(&e.round.mu)
-	e.round.sh = e.sh
+	if e.inflight < 1 {
+		e.inflight = 1
+	}
 	if cfg.Pool != nil {
 		// Fleet mode: the engine is a submitter; the shared pool's
 		// workers (and this engine's helping committer) execute the
@@ -312,7 +366,6 @@ func New(dut rtl.DUT, cfg Config) *Engine {
 	e.workers = workers
 	if workers == 1 {
 		e.inline = newWorker(e.sh)
-		e.round.inline = e.inline
 	} else {
 		e.jobs = make(chan jobRef)
 		for i := 0; i < workers; i++ {
@@ -325,6 +378,20 @@ func New(dut rtl.DUT, cfg Config) *Engine {
 
 // Workers returns the worker count the engine resolved to.
 func (e *Engine) Workers() int { return e.workers }
+
+// Inflight returns the engine's round window bound.
+func (e *Engine) Inflight() int { return e.inflight }
+
+// PipeStats returns the engine's cumulative pipelining and golden
+// snapshot-tree counters. Safe to call concurrently with execution.
+func (e *Engine) PipeStats() PipeStats {
+	return PipeStats{
+		PipelinedRounds: e.sh.pipelined.Load(),
+		MaxInflight:     e.sh.maxDepth.Load(),
+		SnapHits:        e.sh.snapHits.Load(),
+		SnapMisses:      e.sh.snapMisses.Load(),
+	}
+}
 
 func workerLoop(sh *shared, jobs <-chan jobRef, stop <-chan struct{}) {
 	w := newWorker(sh)
@@ -349,20 +416,39 @@ func (e *Engine) Close() {
 }
 
 // Submit starts executing a round of programs and returns its handle.
-// At most one round may be in flight per engine; the previous round
-// must have been fully drained with Each. The progs slice is read by
-// workers until Each returns and must not be mutated in between — the
-// caller is free to generate the next round's programs concurrently,
-// which is exactly how the fuzzer overlaps generation with simulation.
+// At most Config.Inflight rounds may be in flight per engine; past the
+// window the oldest round must be drained with Each first. In-flight
+// rounds must be drained in submission order (each Round's Each
+// commits in input order), so pipelined execution stays observably
+// identical to one-round-at-a-time execution. Submit and Each must be
+// called from the same goroutine. The progs slice is read by workers
+// until Each returns and must not be mutated in between — the caller
+// is free to generate later rounds' programs concurrently, which is
+// exactly how the fuzzer overlaps generation with simulation.
 func (e *Engine) Submit(progs []prog.Program) *Round {
 	select {
 	case <-e.stop:
 		panic("engine: Submit after Close")
 	default:
 	}
-	r := &e.round
-	if r.inFlight {
-		panic("engine: Submit before the previous round was drained")
+	if e.sh.liveRounds >= e.inflight {
+		panic("engine: Submit past the in-flight round window (drain with Each)")
+	}
+	var r *Round
+	if k := len(e.sh.freeRounds); k > 0 {
+		r = e.sh.freeRounds[k-1]
+		e.sh.freeRounds[k-1] = nil
+		e.sh.freeRounds = e.sh.freeRounds[:k-1]
+	} else {
+		r = &Round{sh: e.sh, inline: e.inline}
+		r.cond = sync.NewCond(&r.mu)
+	}
+	e.sh.liveRounds++
+	if e.sh.liveRounds > 1 {
+		e.sh.pipelined.Add(1)
+	}
+	if d := int64(e.sh.liveRounds); d > e.sh.maxDepth.Load() {
+		e.sh.maxDepth.Store(d)
 	}
 	n := len(progs)
 	r.progs = progs
@@ -398,7 +484,8 @@ func (e *Engine) Submit(progs []prog.Program) *Round {
 	return r
 }
 
-// Round is one in-flight batch of programs. It references only the
+// Round is one in-flight batch of programs, recycled through the
+// engine's free list across submissions. It references only the
 // engine's shared state (not the Engine itself), so an abandoned
 // engine stays collectible and its Close finalizer can fire.
 type Round struct {
@@ -453,6 +540,11 @@ func (r *Round) Each(fn func(i int, o *Outcome)) {
 	}
 	r.progs = nil
 	r.inFlight = false
+	// Same-goroutine as Submit by contract, so the window bookkeeping
+	// needs no lock. The Round goes back on the free list; the caller
+	// must not retain it.
+	r.sh.liveRounds--
+	r.sh.freeRounds = append(r.sh.freeRounds, r)
 }
 
 // recycle returns an outcome's pooled scratch to the free lists.

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"chatfuzz/internal/baseline/randinst"
+	"chatfuzz/internal/iss"
+	"chatfuzz/internal/mem"
+	"chatfuzz/internal/prog"
+	"chatfuzz/internal/trace"
+)
+
+// newTestWorker builds the minimal worker + shared pair goldenRun
+// needs, mirroring what exec hands it (a reset platform memory and a
+// bound design name).
+func newTestWorker(design string) (*worker, *shared) {
+	return &worker{gmem: mem.Platform(), bound: design}, &shared{}
+}
+
+// eligiblePrefix emits n trivially replay-safe body words (addi xk,
+// x0, i): straight-line, store-free, load-free, so every capture depth
+// up to n stays eligible and the snapshot tree is guaranteed to
+// populate.
+func eligiblePrefix(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		rd := uint32(i%31 + 1)
+		out[i] = uint32(i)<<20 | rd<<7 | 0x13
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, label string, got, want []trace.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: goldenRun trace has %d entries, reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d diverges:\n  got:  %v\n  want: %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWorkerGoldenRunMatchesReference: the worker-side goldenRun
+// (snapshot tree + decode cache) must stay bit-identical to a
+// from-reset golden run for prefix-sharing families, raw trap-storm
+// bodies and the empty body — on cold and warm (tree-hitting) passes
+// alike.
+func TestWorkerGoldenRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	w, sh := newTestWorker("rocket")
+
+	prefix := eligiblePrefix(16)
+	var bodies [][]uint32
+	bodies = append(bodies, append(append([]uint32{}, prefix...), randinst.Program(rng, 24)...))
+	for i := 0; i < 6; i++ {
+		// Same eligible prefix, fresh suffix: the family the tree serves.
+		bodies = append(bodies, append(append([]uint32{}, prefix...), randinst.Program(rng, 24)...))
+	}
+	for i := 0; i < 3; i++ {
+		raw := make([]uint32, 16)
+		for j := range raw {
+			raw[j] = rng.Uint32()
+		}
+		bodies = append(bodies, raw)
+	}
+	bodies = append(bodies, nil)
+
+	for pass := 0; pass < 2; pass++ {
+		for bi, body := range bodies {
+			img, _, err := prog.Build(prog.Program{Body: body})
+			if err != nil {
+				t.Fatalf("pass %d body %d: %v", pass, bi, err)
+			}
+			budget := prog.InstructionBudget(len(body))
+			want := fullGoldenRun(img, budget)
+			w.gmem.Reset()
+			got := w.goldenRun(sh, img, body, budget, nil)
+			checkGolden(t, "", got, want)
+		}
+	}
+	if sh.snapHits.Load() == 0 {
+		t.Error("snapshot tree never hit across a shared-prefix family")
+	}
+	if sh.snapMisses.Load() == 0 {
+		t.Error("snapshot tree recorded no misses (counters unwired?)")
+	}
+}
+
+// TestWorkerGoldenRunSmallBudget: budgets too small to clear the
+// prologue must fall back to a truncated from-reset run, decode cache
+// and all.
+func TestWorkerGoldenRunSmallBudget(t *testing.T) {
+	w, sh := newTestWorker("rocket")
+	body := []uint32{0x00000013}
+	img, _ := prog.MustBuild(prog.Program{Body: body})
+	for _, budget := range []int{0, 1, 7, 50} {
+		want := fullGoldenRun(img, budget)
+		w.gmem.Reset()
+		got := w.goldenRun(sh, img, body, budget, nil)
+		checkGolden(t, "", got, want)
+	}
+}
+
+// TestGoldenMixedFleetPrologue locks in the prologue-cache audit from
+// golden.go: the prologue is keyed by entry PC and shared across
+// designs (ISS semantics are design-independent), while the snapshot
+// trees — which do cache per-program state — stay isolated per design.
+// A worker alternating designs mid-stream, the fleet-pool migration
+// shape, must produce from-reset-identical goldens for every design.
+func TestGoldenMixedFleetPrologue(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w, sh := newTestWorker("rocket")
+	prefix := eligiblePrefix(8)
+	for i := 0; i < 8; i++ {
+		design := "rocket"
+		if i%2 == 1 {
+			design = "boom"
+		}
+		w.bound = design
+		body := append(append([]uint32{}, prefix...), randinst.Program(rng, 16)...)
+		img, _, err := prog.Build(prog.Program{Body: body})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		budget := prog.InstructionBudget(len(body))
+		want := fullGoldenRun(img, budget)
+		w.gmem.Reset()
+		got := w.goldenRun(sh, img, body, budget, nil)
+		checkGolden(t, design, got, want)
+	}
+	if len(w.trees) != 2 {
+		t.Fatalf("worker serving 2 designs holds %d snapshot trees, want one per design", len(w.trees))
+	}
+	if w.trees["rocket"] == w.trees["boom"] {
+		t.Error("designs share one snapshot tree; cached state could cross designs")
+	}
+}
+
+// TestSnapTreeLRUBounds: the tree must never exceed its capacity, must
+// evict the least-recently-touched node, and a lookup must refresh its
+// node's recency.
+func TestSnapTreeLRUBounds(t *testing.T) {
+	img, _ := prog.MustBuild(prog.Program{})
+	pro := prologueFor(img.Entry)
+	tr := newSnapTree(pro)
+	rng := rand.New(rand.NewSource(5))
+
+	const d = 4
+	mk := func() ([]uint32, uint64) {
+		body := make([]uint32, d)
+		for j := range body {
+			body[j] = rng.Uint32()
+		}
+		return body, prefixHash(fnvOffset, body, 0, d)
+	}
+	var bodies [][]uint32
+	var hashes []uint64
+	for i := 0; i < snapTreeCap; i++ {
+		body, h := mk()
+		bodies, hashes = append(bodies, body), append(hashes, h)
+		tr.insert(body, d, h, iss.Snapshot{}, nil)
+	}
+	if len(tr.nodes) != snapTreeCap || len(tr.order) != snapTreeCap {
+		t.Fatalf("tree holds %d/%d nodes after %d inserts, want %d", len(tr.nodes), len(tr.order), snapTreeCap, snapTreeCap)
+	}
+
+	// Touch the oldest node, then overflow: the second-oldest must be
+	// the victim and the touched node must survive.
+	var hs [len(snapCaptureDepths)]uint64
+	hs[0] = hashes[0]
+	if tr.lookup(bodies[0], &hs, d) == nil {
+		t.Fatal("resident node not found by lookup")
+	}
+	body, h := mk()
+	tr.insert(body, d, h, iss.Snapshot{}, nil)
+	if len(tr.nodes) != snapTreeCap || len(tr.order) != snapTreeCap {
+		t.Fatalf("tree grew past capacity: %d nodes", len(tr.nodes))
+	}
+	if _, ok := tr.nodes[hashes[0]]; !ok {
+		t.Error("recently-touched node was evicted")
+	}
+	if _, ok := tr.nodes[hashes[1]]; ok {
+		t.Error("least-recently-touched node survived the eviction")
+	}
+	if _, ok := tr.nodes[h]; !ok {
+		t.Error("new node missing after eviction")
+	}
+}
+
+// FuzzSnapshotTreePrefix hammers the tree's core safety property: a
+// worker that has cached snapshots from one program must never replay
+// state past the prefix it provably shares with the next — for any mix
+// of valid, raw-illegal and shared-prefix bodies, the warm-tree golden
+// trace must stay bit-identical to a from-reset run.
+func FuzzSnapshotTreePrefix(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(8), uint8(12), uint8(10), false)
+	f.Add(int64(3), int64(3), uint8(64), uint8(0), uint8(0), false)
+	f.Add(int64(7), int64(9), uint8(4), uint8(40), uint8(2), true)
+	f.Add(int64(11), int64(12), uint8(0), uint8(6), uint8(6), false)
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, preLen, sufA, sufB uint8, rawPrefix bool) {
+		rngP := rand.New(rand.NewSource(seedA))
+		pre := int(preLen) % 65
+		var prefix []uint32
+		if rawPrefix {
+			prefix = make([]uint32, pre)
+			for i := range prefix {
+				prefix[i] = rngP.Uint32()
+			}
+		} else {
+			prefix = randinst.Program(rngP, pre)
+		}
+		mk := func(seed int64, n uint8) []uint32 {
+			rng := rand.New(rand.NewSource(seed))
+			suffix := randinst.Program(rng, int(n)%65)
+			for i := range suffix {
+				if rng.Intn(4) == 0 {
+					suffix[i] = rng.Uint32() // sprinkle illegal words
+				}
+			}
+			return append(append([]uint32{}, prefix...), suffix...)
+		}
+		bodyA := mk(seedA+101, sufA)
+		bodyB := mk(seedB+202, sufB)
+
+		w, sh := newTestWorker("fuzz")
+		// A populates the tree, B must not replay past the shared
+		// prefix, A again exercises the fully warm hit path.
+		for _, body := range [][]uint32{bodyA, bodyB, bodyA} {
+			img, _, err := prog.Build(prog.Program{Body: body})
+			if err != nil {
+				t.Skip()
+			}
+			budget := prog.InstructionBudget(len(body))
+			want := fullGoldenRun(img, budget)
+			w.gmem.Reset()
+			got := w.goldenRun(sh, img, body, budget, nil)
+			if len(got) != len(want) {
+				t.Fatalf("trace has %d entries, from-reset reference %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("entry %d diverges from the from-reset reference:\n  got:  %v\n  want: %v", i, got[i], want[i])
+				}
+			}
+		}
+	})
+}

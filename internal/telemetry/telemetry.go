@@ -72,9 +72,12 @@ const (
 	// EventSteal marks a cross-design job claim by the pool's steal
 	// policy; EventHelp a committer executing a queued job while it
 	// waits; EventMigrate a scratch re-bind to a new design.
-	EventSteal   = "steal"
-	EventHelp    = "help"
-	EventMigrate = "migrate"
+	// EventPipeline marks a round submission that overlapped an
+	// undrained earlier round (the sub-round pipeline engaging).
+	EventSteal    = "steal"
+	EventHelp     = "help"
+	EventMigrate  = "migrate"
+	EventPipeline = "pipeline"
 )
 
 // trackCap is each track's preallocated ring capacity. Rings drain at
