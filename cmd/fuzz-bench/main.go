@@ -27,17 +27,28 @@
 // scale-probe mode for runs like
 // `fuzz-bench campaign -shards 32 -fleetpool -probe`.
 // See README.md in this directory for the full campaign flag guide.
+//
+// The submit, status and watch subcommands are the client side of the
+// campaign farm daemon (cmd/campd): submit a job spec to a daemon,
+// inspect its queue, and stream a job's round reports:
+//
+//	fuzz-bench submit -addr 127.0.0.1:8700 -tests 2000 -watch
+//	fuzz-bench status -addr 127.0.0.1:8700
+//	fuzz-bench watch -addr 127.0.0.1:8700 job-1
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"chatfuzz/internal/atomicio"
 	"chatfuzz/internal/campaign"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/exp"
@@ -256,9 +267,29 @@ func campaignMain(args []string) {
 	}
 	defer o.Close()
 
-	if err := o.RunTests(*tests); err != nil {
-		log.Fatalf("campaign: %v", err)
+	// Run to the test budget round by round, trapping SIGINT at the
+	// barrier: ^C stops after the current round completes, so the
+	// epilogue below still flushes the checkpoint, metrics and trace of
+	// a consistent barrier state. A second ^C kills immediately (the
+	// default disposition is restored), which the atomic checkpoint
+	// writer makes safe.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt)
+	interrupted := false
+	for !interrupted && o.Tests() < *tests {
+		if err := o.RunRound(); err != nil {
+			log.Fatalf("campaign: %v", err)
+		}
+		select {
+		case <-sigC:
+			signal.Stop(sigC)
+			interrupted = true
+			fmt.Printf("\ninterrupted at round %d (%d of %d tests); flushing...\n",
+				o.Rounds(), o.Tests(), *tests)
+		default:
+		}
 	}
+	signal.Stop(sigC)
 	fmt.Print(o.Report())
 	if *probe && !*resume {
 		fmt.Println(o.ProbeSummary())
@@ -288,8 +319,9 @@ func campaignMain(args []string) {
 
 	// The -learn headline: the same fleet with the LLM arm frozen, at
 	// the same budget, compared at equal virtual time. Skipped on
-	// resume (the frozen twin would not have lived the same history).
-	if *learn && !*resume {
+	// resume (the frozen twin would not have lived the same history)
+	// and on interrupt (an equal-budget comparison needs the budget).
+	if *learn && !*resume && !interrupted {
 		fmt.Println("running the frozen-LLM twin fleet for the learning delta...")
 		frozenArms := make([]campaign.ArmSpec, 0, len(arms))
 		for _, a := range arms {
@@ -340,26 +372,36 @@ func campaignMain(args []string) {
 // writeProbeJSON dumps per-round scheduler probes as JSON Lines: one
 // RoundProbe object per line (durations in nanoseconds, Go's
 // time.Duration serialization), consumable by jq without loading the
-// whole run.
+// whole run. Written atomically so an interrupt mid-dump cannot leave
+// a torn file where a previous run's probes used to be.
 func writeProbeJSON(path string, probes []campaign.RoundProbe) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	for _, p := range probes {
-		if err := enc.Encode(p); err != nil {
-			f.Close()
-			return err
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, p := range probes {
+			if err := enc.Encode(p); err != nil {
+				return err
+			}
 		}
-	}
-	return f.Close()
+		return nil
+	})
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "campaign" {
-		campaignMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "campaign":
+			campaignMain(os.Args[2:])
+			return
+		case "submit":
+			submitMain(os.Args[2:])
+			return
+		case "status":
+			statusMain(os.Args[2:])
+			return
+		case "watch":
+			watchMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		scaleName = flag.String("scale", "quick", "experiment scale: quick or paper")

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"chatfuzz/internal/atomicio"
 	"chatfuzz/internal/core"
 	"chatfuzz/internal/mismatch"
 	"chatfuzz/internal/ml/nn"
@@ -182,14 +183,15 @@ func decodeCheckpoint(r io.Reader) (checkpointFile, error) {
 	return cf, nil
 }
 
-// CheckpointFile writes a checkpoint to path.
+// CheckpointFile writes a checkpoint to path, atomically and durably:
+// the bytes are staged in a same-directory temp file, fsynced, renamed
+// over path, and the directory entry is fsynced (internal/atomicio).
+// A crash, kill -9 or full disk mid-write therefore leaves the
+// previous checkpoint generation intact — path never holds a torn
+// checkpoint — which is what lets the farm daemon resume any job from
+// its last durable checkpoint no matter when the process died.
 func (o *Orchestrator) CheckpointFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return o.Checkpoint(f)
+	return atomicio.WriteFile(path, o.Checkpoint)
 }
 
 // Resume rebuilds a homogeneous fleet from a checkpoint. The caller

@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkpointBytes runs a small fleet and returns its checkpoint.
+func checkpointBytes(t *testing.T) []byte {
+	t.Helper()
+	o := mustNew(t, Config{Shards: 2, BatchSize: 8, Seed: 5})
+	defer o.Close()
+	if err := o.RunRounds(3); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := o.Checkpoint(&buf); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeCheckpointCorruptInputs: every way a checkpoint file can
+// be broken — empty, truncated, garbage, wrong version, right version
+// with a mangled body — must produce a clear error, never a panic and
+// never a silently wrong fleet.
+func TestDecodeCheckpointCorruptInputs(t *testing.T) {
+	good := checkpointBytes(t)
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "decode checkpoint"},
+		{"garbage", []byte("not json at all\x00\xff"), "decode checkpoint"},
+		{"truncated-early", good[:10], "decode checkpoint"},
+		{"truncated-half", good[:len(good)/2], "decode checkpoint"},
+		{"truncated-last-byte", good[:len(good)-2], "decode checkpoint"},
+		{"old-version", []byte(`{"Version":1,"Round":3}`), "checkpoint version 1"},
+		{"future-version", []byte(`{"Version":99}`), "checkpoint version 99"},
+		{"no-version", []byte(`{"Round":3}`), "checkpoint version 0"},
+		{"mangled-body", []byte(`{"Version":4,"Bandit":"nope"}`), "decode checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeCheckpoint(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("decodeCheckpoint accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResumeFileCorruptVariants exercises the same corruptions through
+// the public file-based entry points, the path the farm daemon and
+// `fuzz-bench campaign -resume` actually take.
+func TestResumeFileCorruptVariants(t *testing.T) {
+	good := checkpointBytes(t)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", good[:len(good)/3]},
+		{"garbage", []byte("\x89PNG not a checkpoint")},
+		{"empty", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			if _, err := ResumeFile(path, newRocket, testArms()...); err == nil {
+				t.Error("ResumeFile accepted a corrupt checkpoint")
+			}
+			if _, err := ReadCheckpointInfo(path); err == nil {
+				t.Error("ReadCheckpointInfo accepted a corrupt checkpoint")
+			}
+		})
+	}
+	if _, err := ResumeFile(filepath.Join(dir, "missing.json"), newRocket, testArms()...); err == nil {
+		t.Error("ResumeFile invented a checkpoint from a missing file")
+	}
+}
+
+// TestCheckpointFileSurvivesKillDuringWrite simulates dying mid-
+// checkpoint: generation 1 is on disk, and the process was killed
+// while staging generation 2 — leaving a partial .tmp next to the
+// target, the exact state a kill -9 inside atomicio.WriteFile
+// produces. The target must still hold the complete generation 1, it
+// must resume, and the next checkpoint must succeed over the debris.
+func TestCheckpointFileSurvivesKillDuringWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+
+	o := mustNew(t, Config{Shards: 2, BatchSize: 8, Seed: 5})
+	defer o.Close()
+	if err := o.RunRounds(2); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	if err := o.CheckpointFile(path); err != nil {
+		t.Fatalf("CheckpointFile: %v", err)
+	}
+	gen1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+
+	// The kill: half of generation 2, never renamed.
+	if err := os.WriteFile(path+".tmp123456", gen1[:len(gen1)/2], 0o600); err != nil {
+		t.Fatalf("plant torn temp: %v", err)
+	}
+
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, gen1) {
+		t.Fatal("target no longer holds generation 1")
+	}
+	info, err := ReadCheckpointInfo(path)
+	if err != nil {
+		t.Fatalf("generation 1 unreadable beside torn temp: %v", err)
+	}
+	if info.Round != 2 {
+		t.Fatalf("generation 1 decodes to round %d, want 2", info.Round)
+	}
+	resumed, err := ResumeFile(path, newRocket, testArms()...)
+	if err != nil {
+		t.Fatalf("resume from generation 1: %v", err)
+	}
+	defer resumed.Close()
+	if err := resumed.RunRounds(1); err != nil {
+		t.Fatalf("RunRounds after resume: %v", err)
+	}
+	// Generation 3 writes cleanly over the debris.
+	if err := resumed.CheckpointFile(path); err != nil {
+		t.Fatalf("checkpoint over torn temp: %v", err)
+	}
+	info, err = ReadCheckpointInfo(path)
+	if err != nil {
+		t.Fatalf("generation 3 unreadable: %v", err)
+	}
+	if info.Round != 3 {
+		t.Fatalf("generation 3 decodes to round %d, want 3", info.Round)
+	}
+}
+
+// FuzzDecodeCheckpoint: no input, however mangled, may panic the
+// decoder — a daemon replaying a crashed disk must always get an
+// error value it can report.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	o, err := New(Config{Shards: 1, BatchSize: 8, Seed: 5}, newRocket, testArms()...)
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
+	if err := o.RunRounds(1); err != nil {
+		f.Fatalf("RunRounds: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := o.Checkpoint(&buf); err != nil {
+		f.Fatalf("Checkpoint: %v", err)
+	}
+	o.Close()
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{"Version":4}`))
+	f.Add([]byte(`{"Version":4,"Shards":[{}],"Globals":{"rocket":[1]}}`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode must return; errors are the expected outcome for
+		// almost every input.
+		_, _ = decodeCheckpoint(bytes.NewReader(data))
+	})
+}

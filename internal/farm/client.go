@@ -1,0 +1,152 @@
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a farm daemon's HTTP API.
+type Client struct {
+	// Base is the daemon's base URL (http://host:port).
+	Base string
+	// HTTP is the transport (default http.DefaultClient). Watch
+	// streams long-lived responses, so any custom client must not set
+	// an overall request timeout.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for addr, which may be a bare host:port
+// or a full http:// URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out (unless
+// out is nil). Non-2xx responses surface the server's error text.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("farm: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends a job spec; the returned status carries the assigned
+// ID. The job is durably queued when Submit returns.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do("POST", "/api/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Jobs lists every job, in submission order.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do("GET", "/api/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do("GET", "/api/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Trajectory fetches a job's full round-report history (served from
+// memory while the daemon runs, from the durable checkpoint after a
+// restart).
+func (c *Client) Trajectory(id string) ([]RoundReport, error) {
+	var out []RoundReport
+	err := c.do("GET", "/api/v1/jobs/"+id+"/trajectory", nil, &out)
+	return out, err
+}
+
+// Checkpoint fetches a job's durable checkpoint bytes.
+func (c *Client) Checkpoint(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/api/v1/jobs/" + id + "/checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("farm: checkpoint %s: %s: %s", id, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Watch streams a job's round reports from index `from` (0 replays
+// the whole history), invoking fn per report, until the job reaches a
+// terminal state; it then returns the final status. fn returning an
+// error aborts the watch with that error.
+func (c *Client) Watch(id string, from int, fn func(RoundReport) error) (JobStatus, error) {
+	resp, err := c.http().Get(fmt.Sprintf("%s/api/v1/jobs/%s/rounds?from=%d", c.Base, id, from))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return JobStatus{}, fmt.Errorf("farm: watch %s: %s: %s", id, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rep RoundReport
+		if err := json.Unmarshal(line, &rep); err != nil {
+			return JobStatus{}, fmt.Errorf("farm: watch %s: bad report line: %w", id, err)
+		}
+		if fn != nil {
+			if err := fn(rep); err != nil {
+				return JobStatus{}, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, err
+	}
+	return c.Job(id)
+}

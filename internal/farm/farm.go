@@ -1,0 +1,263 @@
+// Package farm is the distributed campaign service: a long-lived
+// daemon (cmd/campd) that accepts fuzzing-campaign submissions over
+// an HTTP/JSON API, persists each job in an on-disk write-ahead queue
+// log (append, fsync, checksum — replayed on startup), runs jobs on
+// the campaign orchestrator with a durable atomic checkpoint after
+// every CheckpointEvery rounds, and streams round reports to
+// watching clients.
+//
+// Crash safety is the design center, and it rests on two invariants
+// the rest of the repo already enforces:
+//
+//  1. Checkpoints are atomic and durable (internal/atomicio): at any
+//     instant a job's checkpoint file holds a complete generation,
+//     never a torn one, no matter when the process died.
+//  2. Resume is bit-exact (internal/campaign): a fleet rebuilt from a
+//     checkpoint replays the remaining rounds bit-identically to the
+//     uninterrupted run — trajectories and subsequent checkpoint
+//     bytes included.
+//
+// Together they make the daemon's recovery story trivial to state: on
+// restart, every job whose submit record has no terminal (done/fail)
+// record is re-queued in submission order; a job with a checkpoint
+// resumes from it, a job without one starts over from its seed; and
+// in both cases the completed job is indistinguishable — bit for bit
+// — from one whose daemon never died. Losing a kill -9 costs at most
+// the rounds since the last durable checkpoint, re-simulated, never
+// diverged.
+//
+// Scheduling state (everything in the checkpoint) is durable;
+// execution details (worker counts, pools) are the daemon's own
+// business and per-restart. The same split the campaign CLI
+// documents.
+//
+//chatfuzz:deterministic package
+package farm
+
+import (
+	"fmt"
+	"strings"
+
+	"chatfuzz/internal/campaign"
+	"chatfuzz/internal/core"
+	"chatfuzz/internal/rtl"
+	"chatfuzz/internal/rtl/boom"
+	"chatfuzz/internal/rtl/rocket"
+)
+
+// JobState is a job's position in its lifecycle. Queued and Running
+// are volatile (recomputed on restart from the queue log: submitted
+// but not terminal means queued); Done and Failed are durable
+// terminal records in the log.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobSpec is a campaign submission: exactly the scheduling-state
+// surface of campaign.Config plus the arm and design lists — the
+// checkpointed parameters, nothing execution-only. A JobSpec is
+// serialized verbatim into the queue log, so it must stay
+// JSON-stable.
+type JobSpec struct {
+	// Name is an optional human label; it has no semantics.
+	Name string `json:",omitempty"`
+	// DUTs lists the designs under test (rocket, boom); shards
+	// alternate designs round-robin as in `fuzz-bench campaign -dut`.
+	// Default: rocket.
+	DUTs []string `json:",omitempty"`
+	// Arms lists the generator arms to schedule: thehuzz, randinst,
+	// randfuzz, chatfuzz, chatfuzz-learn. The LLM arms train the tiny
+	// deterministic test-scale pipeline at job start (and again at
+	// resume — training is a pure function of its seed, so the rebuilt
+	// weights are identical). Default: thehuzz,randinst,randfuzz.
+	Arms []string `json:",omitempty"`
+	// Tests is the fleet's total test budget (default 2000).
+	Tests int
+	// Shards, BatchSize, RoundBatches, Seed, Body mirror the campaign
+	// flags of the same names.
+	Shards       int   `json:",omitempty"`
+	BatchSize    int   `json:",omitempty"`
+	RoundBatches int   `json:",omitempty"`
+	Seed         int64 `json:",omitempty"`
+	Body         int   `json:",omitempty"`
+	// Detect, MismatchWeight, UpdateBudget mirror campaign.Config.
+	Detect         bool    `json:",omitempty"`
+	MismatchWeight float64 `json:",omitempty"`
+	UpdateBudget   int     `json:",omitempty"`
+	// CheckpointEvery is the durable-checkpoint cadence in rounds
+	// (default 1: every round barrier writes one). A crash loses at
+	// most this many rounds of wall-clock work and zero bits of
+	// correctness.
+	CheckpointEvery int `json:",omitempty"`
+}
+
+// withDefaults fills the zero-value knobs; it is applied at submit
+// time so the logged spec is explicit about what will run.
+func (s JobSpec) withDefaults() JobSpec {
+	if len(s.DUTs) == 0 {
+		s.DUTs = []string{"rocket"}
+	}
+	if len(s.Arms) == 0 {
+		s.Arms = []string{"thehuzz", "randinst", "randfuzz"}
+	}
+	if s.Tests <= 0 {
+		s.Tests = 2000
+	}
+	if s.Shards <= 0 {
+		s.Shards = 4
+	}
+	if s.BatchSize <= 0 {
+		s.BatchSize = 16
+	}
+	if s.Body <= 0 {
+		s.Body = 24
+	}
+	if s.CheckpointEvery <= 0 {
+		s.CheckpointEvery = 1
+	}
+	return s
+}
+
+// Validate rejects specs the farm cannot run, before anything is
+// logged: unknown designs or arms, duplicate arms.
+func (s JobSpec) Validate() error {
+	for _, d := range s.DUTs {
+		if _, err := dutConstructor(d); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range s.Arms {
+		if !validArm(a) {
+			return fmt.Errorf("farm: unknown arm %q (have thehuzz, randinst, randfuzz, chatfuzz, chatfuzz-learn)", a)
+		}
+		if seen[a] {
+			return fmt.Errorf("farm: duplicate arm %q", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+func validArm(name string) bool {
+	switch name {
+	case "thehuzz", "randinst", "randfuzz", "chatfuzz", "chatfuzz-learn":
+		return true
+	}
+	return false
+}
+
+// needsPipeline reports whether any arm samples the LLM (and so needs
+// a trained pipeline before the fleet can be built).
+func (s JobSpec) needsPipeline() bool {
+	for _, a := range s.Arms {
+		if a == "chatfuzz" || a == "chatfuzz-learn" {
+			return true
+		}
+	}
+	return false
+}
+
+func dutConstructor(name string) (func() rtl.DUT, error) {
+	switch strings.TrimSpace(name) {
+	case "rocket":
+		return func() rtl.DUT { return rocket.New() }, nil
+	case "boom":
+		return func() rtl.DUT { return boom.New() }, nil
+	}
+	return nil, fmt.Errorf("farm: unknown design %q (have rocket, boom)", name)
+}
+
+// fleetArgs turns a spec into the orchestrator's construction inputs:
+// the campaign config (scheduling state only — execution details are
+// the server's), the DUT constructors and the arm specs. The same
+// arm specs are required for resume, which validates them against the
+// checkpoint's signatures.
+func (s JobSpec) fleetArgs(p *core.Pipeline) (campaign.Config, []func() rtl.DUT, []campaign.ArmSpec, error) {
+	cfg := campaign.Config{
+		Shards:         s.Shards,
+		BatchSize:      s.BatchSize,
+		RoundBatches:   s.RoundBatches,
+		Seed:           s.Seed,
+		Detect:         s.Detect,
+		MismatchWeight: s.MismatchWeight,
+		UpdateBudget:   s.UpdateBudget,
+	}
+	var duts []func() rtl.DUT
+	for _, d := range s.DUTs {
+		c, err := dutConstructor(d)
+		if err != nil {
+			return campaign.Config{}, nil, nil, err
+		}
+		duts = append(duts, c)
+	}
+	var arms []campaign.ArmSpec
+	for _, a := range s.Arms {
+		switch a {
+		case "thehuzz":
+			arms = append(arms, campaign.TheHuzzArm(s.Body))
+		case "randinst":
+			arms = append(arms, campaign.RandInstArm(s.Body))
+		case "randfuzz":
+			arms = append(arms, campaign.RandFuzzArm(s.Body))
+		case "chatfuzz":
+			if p == nil {
+				return campaign.Config{}, nil, nil, fmt.Errorf("farm: arm %q needs a trained pipeline", a)
+			}
+			arms = append(arms, campaign.LLMArm(p))
+		case "chatfuzz-learn":
+			if p == nil {
+				return campaign.Config{}, nil, nil, fmt.Errorf("farm: arm %q needs a trained pipeline", a)
+			}
+			arms = append(arms, campaign.LearningLLMArm(p))
+		default:
+			return campaign.Config{}, nil, nil, fmt.Errorf("farm: unknown arm %q", a)
+		}
+	}
+	return cfg, duts, arms, nil
+}
+
+// RoundReport is one barrier's fleet state, streamed to watchers and
+// rebuilt from the checkpointed trajectory on recovery. Round is
+// 1-based (round N is the state after N completed rounds).
+type RoundReport struct {
+	Round    int
+	Tests    int
+	Hours    float64
+	Coverage float64
+}
+
+// JobSummary is a finished job's headline numbers, recorded durably
+// in the queue log's done record.
+type JobSummary struct {
+	Rounds   int
+	Tests    int
+	Hours    float64
+	Coverage float64
+}
+
+// JobStatus is the API's job view.
+type JobStatus struct {
+	ID    string
+	State JobState
+	Spec  JobSpec
+	// Resumes counts how many times the job was recovered from a
+	// durable checkpoint after a daemon restart (0 for a job that ran
+	// uninterrupted — the trajectories are bit-identical either way;
+	// this is bookkeeping, not a semantic difference).
+	Resumes int
+	// Round/Tests/Coverage are the latest barrier's numbers while the
+	// job runs (and the final ones once it is terminal).
+	Round    int
+	Tests    int
+	Coverage float64
+	// Error is set for failed jobs.
+	Error string `json:",omitempty"`
+	// Summary is set for done jobs.
+	Summary *JobSummary `json:",omitempty"`
+}

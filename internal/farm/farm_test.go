@@ -1,0 +1,411 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"chatfuzz/internal/campaign"
+	"chatfuzz/internal/core"
+)
+
+// testSpec is small enough for CI but long enough (15 rounds at the
+// default CheckpointEvery=1) that a kill reliably lands mid-campaign.
+func testSpec(tests int) JobSpec {
+	return JobSpec{
+		Name:      "t",
+		Tests:     tests,
+		Shards:    2,
+		BatchSize: 8,
+		Seed:      11,
+		Body:      8,
+	}
+}
+
+func waitUntil(t *testing.T, desc string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func waitDone(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	waitUntil(t, id+" terminal", func() bool {
+		st, ok := s.Job(id)
+		return ok && (st.State == JobDone || st.State == JobFailed)
+	})
+	st, _ := s.Job(id)
+	if st.State != JobDone {
+		t.Fatalf("%s finished %s: %s", id, st.State, st.Error)
+	}
+	return st
+}
+
+// directRun executes a spec straight on the orchestrator — no farm —
+// and returns the trajectory (as round reports) plus the final
+// checkpoint bytes. This is the reference every farm path must match
+// bit for bit.
+func directRun(t *testing.T, spec JobSpec) ([]RoundReport, []byte) {
+	t.Helper()
+	spec = spec.withDefaults()
+	var p *core.Pipeline
+	if spec.needsPipeline() {
+		dutOf, err := dutConstructor(spec.DUTs[0])
+		if err != nil {
+			t.Fatalf("dutConstructor: %v", err)
+		}
+		p = core.NewPipeline(core.TestPipelineConfig())
+		p.Run(dutOf())
+	}
+	cfg, duts, arms, err := spec.fleetArgs(p)
+	if err != nil {
+		t.Fatalf("fleetArgs: %v", err)
+	}
+	o, err := campaign.NewMixed(cfg, duts, arms...)
+	if err != nil {
+		t.Fatalf("NewMixed: %v", err)
+	}
+	defer o.Close()
+	for o.Tests() < spec.Tests {
+		if err := o.RunRound(); err != nil {
+			t.Fatalf("RunRound: %v", err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := o.CheckpointFile(path); err != nil {
+		t.Fatalf("CheckpointFile: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var reps []RoundReport
+	for i, pt := range o.Trajectory() {
+		reps = append(reps, RoundReport{Round: i + 1, Tests: pt.Tests, Hours: pt.Hours, Coverage: pt.Coverage})
+	}
+	return reps, b
+}
+
+func readCheckpoint(t *testing.T, s *Server, id string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(s.checkpointPath(id))
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	return b
+}
+
+// TestFarmJobMatchesDirectRun: a job run by the daemon produces the
+// same trajectory and checkpoint bytes as the same spec run directly
+// on the orchestrator — the farm adds durability, not divergence.
+func TestFarmJobMatchesDirectRun(t *testing.T) {
+	spec := testSpec(96)
+	wantReps, wantCkpt := directRun(t, spec)
+
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Stop()
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitDone(t, s, st.ID)
+
+	gotReps, _ := s.Rounds(st.ID, 0)
+	if !reflect.DeepEqual(gotReps, wantReps) {
+		t.Errorf("farm trajectory diverged from direct run:\n got %+v\nwant %+v", gotReps, wantReps)
+	}
+	if got := readCheckpoint(t, s, st.ID); !bytes.Equal(got, wantCkpt) {
+		t.Errorf("farm checkpoint bytes differ from direct run (%d vs %d bytes)", len(got), len(wantCkpt))
+	}
+	if final.Summary == nil || final.Summary.Tests != wantReps[len(wantReps)-1].Tests {
+		t.Errorf("summary %+v does not match trajectory tail %+v", final.Summary, wantReps[len(wantReps)-1])
+	}
+	if final.Resumes != 0 {
+		t.Errorf("uninterrupted job reports %d resumes", final.Resumes)
+	}
+}
+
+// killAndReopen crashes the farm once the job has passed at least two
+// round barriers, verifies the on-disk state a crash leaves (readable
+// checkpoint, replayable queue log), reopens the same data dir and
+// returns the new server.
+func killAndReopen(t *testing.T, s *Server, cfg Config, id string) *Server {
+	t.Helper()
+	waitUntil(t, id+" past round 2", func() bool {
+		reps, _ := s.Rounds(id, 0)
+		return len(reps) >= 2
+	})
+	s.Kill()
+
+	// No crash sequence may leave an unreadable checkpoint: whatever
+	// instant the kill hit, the file must hold a complete generation.
+	info, err := campaign.ReadCheckpointInfo(s.checkpointPath(id))
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after kill: %v", err)
+	}
+	if info.Round < 1 {
+		t.Fatalf("checkpoint after kill has round %d", info.Round)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("re-Open after kill: %v", err)
+	}
+	st, ok := s2.Job(id)
+	if !ok {
+		t.Fatalf("job %s lost across the crash", id)
+	}
+	if st.State == JobDone || st.State == JobFailed {
+		t.Fatalf("killed job replayed as terminal: %s", st.State)
+	}
+	if st.Resumes != 1 {
+		t.Errorf("recovered job reports %d resumes, want 1", st.Resumes)
+	}
+	return s2
+}
+
+// TestFarmKillRecoverBitIdentical is the headline recovery property:
+// kill the daemon mid-campaign, reopen the data dir, and the resumed
+// job completes with a trajectory and final checkpoint bit-identical
+// to a farm that never died.
+func TestFarmKillRecoverBitIdentical(t *testing.T) {
+	spec := testSpec(240)
+	wantReps, wantCkpt := directRun(t, spec)
+
+	cfg := Config{Dir: t.TempDir()}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	s2 := killAndReopen(t, s, cfg, st.ID)
+	defer s2.Stop()
+	waitDone(t, s2, st.ID)
+
+	gotReps, _ := s2.Rounds(st.ID, 0)
+	if !reflect.DeepEqual(gotReps, wantReps) {
+		t.Errorf("recovered trajectory diverged:\n got %+v\nwant %+v", gotReps, wantReps)
+	}
+	if got := readCheckpoint(t, s2, st.ID); !bytes.Equal(got, wantCkpt) {
+		t.Errorf("recovered checkpoint bytes differ from uninterrupted run")
+	}
+}
+
+// TestFarmKillRecoverLLMJob runs the same crash drill with a learning
+// LLM arm: resume retrains the deterministic test pipeline and carries
+// the checkpoint's published+staged learner weights, so even the
+// feedback loop replays bit-identically.
+func TestFarmKillRecoverLLMJob(t *testing.T) {
+	spec := testSpec(160)
+	spec.Arms = []string{"thehuzz", "chatfuzz-learn"}
+	wantReps, wantCkpt := directRun(t, spec)
+
+	cfg := Config{Dir: t.TempDir()}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	s2 := killAndReopen(t, s, cfg, st.ID)
+	defer s2.Stop()
+	waitDone(t, s2, st.ID)
+
+	gotReps, _ := s2.Rounds(st.ID, 0)
+	if !reflect.DeepEqual(gotReps, wantReps) {
+		t.Errorf("LLM job recovered trajectory diverged:\n got %+v\nwant %+v", gotReps, wantReps)
+	}
+	if got := readCheckpoint(t, s2, st.ID); !bytes.Equal(got, wantCkpt) {
+		t.Errorf("LLM job recovered checkpoint bytes differ from uninterrupted run")
+	}
+}
+
+// TestFarmGracefulStopParksAndResumes: Stop() checkpoints and parks
+// running jobs; a reopened farm finishes them bit-identically.
+func TestFarmGracefulStopParksAndResumes(t *testing.T) {
+	spec := testSpec(240)
+	wantReps, wantCkpt := directRun(t, spec)
+
+	cfg := Config{Dir: t.TempDir()}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitUntil(t, "first round", func() bool {
+		reps, _ := s.Rounds(st.ID, 0)
+		return len(reps) >= 1
+	})
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	defer s2.Stop()
+	waitDone(t, s2, st.ID)
+	gotReps, _ := s2.Rounds(st.ID, 0)
+	if !reflect.DeepEqual(gotReps, wantReps) {
+		t.Errorf("parked+resumed trajectory diverged:\n got %+v\nwant %+v", gotReps, wantReps)
+	}
+	if got := readCheckpoint(t, s2, st.ID); !bytes.Equal(got, wantCkpt) {
+		t.Errorf("parked+resumed checkpoint bytes differ from uninterrupted run")
+	}
+}
+
+func TestFarmSubmitValidation(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Stop()
+	for _, spec := range []JobSpec{
+		{Arms: []string{"nonsense"}},
+		{Arms: []string{"thehuzz", "thehuzz"}},
+		{DUTs: []string{"cray-1"}},
+	} {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("Submit accepted invalid spec %+v", spec)
+		}
+	}
+	if got := len(s.Jobs()); got != 0 {
+		t.Fatalf("invalid submissions left %d jobs behind", got)
+	}
+}
+
+// TestFarmHTTPRoundTrip drives the whole client surface against a real
+// listener: submit, watch the round stream to completion, then check
+// status, list, trajectory and checkpoint agree with each other.
+func TestFarmHTTPRoundTrip(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Stop()
+	c := NewClient(s.Addr())
+
+	if _, err := c.Submit(JobSpec{Arms: []string{"nonsense"}}); err == nil {
+		t.Fatal("server accepted an invalid spec")
+	}
+
+	spec := testSpec(48)
+	st, err := c.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID == "" || st.State != JobQueued {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	var seen []RoundReport
+	final, err := c.Watch(st.ID, 0, func(rep RoundReport) error {
+		seen = append(seen, rep)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if final.State != JobDone {
+		t.Fatalf("watched job ended %s: %s", final.State, final.Error)
+	}
+	if len(seen) == 0 || seen[len(seen)-1].Tests < spec.Tests {
+		t.Fatalf("watch stream incomplete: %+v", seen)
+	}
+	for i, rep := range seen {
+		if rep.Round != i+1 {
+			t.Fatalf("watch stream out of order at %d: %+v", i, rep)
+		}
+	}
+
+	traj, err := c.Trajectory(st.ID)
+	if err != nil {
+		t.Fatalf("Trajectory: %v", err)
+	}
+	if !reflect.DeepEqual(traj, seen) {
+		t.Errorf("trajectory %+v != watched stream %+v", traj, seen)
+	}
+
+	jobs, err := c.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("Jobs = %+v", jobs)
+	}
+
+	ckpt, err := c.Checkpoint(st.ID)
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if !bytes.Equal(ckpt, readCheckpoint(t, s, st.ID)) {
+		t.Error("served checkpoint differs from the on-disk file")
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(ckpt, &decoded); err != nil {
+		t.Fatalf("served checkpoint is not JSON: %v", err)
+	}
+
+	if _, err := c.Job("job-999"); err == nil {
+		t.Error("status of unknown job succeeded")
+	}
+}
+
+// TestFarmTrajectoryServedFromCheckpointAfterRestart: a restarted
+// daemon has no in-memory history for already-finished jobs; the
+// trajectory endpoint falls back to the durable checkpoint.
+func TestFarmTrajectoryServedFromCheckpointAfterRestart(t *testing.T) {
+	cfg := Config{Dir: t.TempDir()}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st, err := s.Submit(testSpec(48))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, s, st.ID)
+	want, _ := s.Rounds(st.ID, 0)
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	cfg.Addr = "127.0.0.1:0"
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	defer s2.Stop()
+	st2, ok := s2.Job(st.ID)
+	if !ok || st2.State != JobDone {
+		t.Fatalf("done job replayed as %+v", st2)
+	}
+	traj, err := NewClient(s2.Addr()).Trajectory(st.ID)
+	if err != nil {
+		t.Fatalf("Trajectory: %v", err)
+	}
+	if !reflect.DeepEqual(traj, want) {
+		t.Errorf("checkpoint-served trajectory %+v != live history %+v", traj, want)
+	}
+}

@@ -1,0 +1,150 @@
+package farm
+
+import (
+	"fmt"
+	"os"
+
+	"chatfuzz/internal/campaign"
+	"chatfuzz/internal/core"
+)
+
+// runJob executes one job to completion (or until the server stops):
+// build or resume the fleet, run rounds with a durable atomic
+// checkpoint every CheckpointEvery barriers, publish each barrier's
+// numbers to watchers, and close the job durably in the queue log.
+//
+// Determinism contract: everything here that shapes the trajectory is
+// either in the job spec (logged) or in the checkpoint (durable), so
+// a job's completed run is bit-identical no matter how many times the
+// daemon died and resumed it in between.
+func (s *Server) runJob(id string) {
+	st, _ := s.Job(id)
+	spec := st.Spec
+
+	var p *core.Pipeline
+	if spec.needsPipeline() {
+		dutOf, err := dutConstructor(spec.DUTs[0])
+		if err != nil {
+			s.finishJob(id, nil, err)
+			return
+		}
+		// The tiny test-scale pipeline: training is a pure function of
+		// its config seed, so a resume that retrains gets bit-identical
+		// weights (the same requirement `fuzz-bench campaign -resume
+		// -llm` already carries). The default paper-scale pipeline
+		// trains for minutes and has no place inside a daemon worker.
+		p = core.NewPipeline(core.TestPipelineConfig())
+		p.Run(dutOf())
+	}
+	cfg, duts, arms, err := spec.fleetArgs(p)
+	if err != nil {
+		s.finishJob(id, nil, err)
+		return
+	}
+
+	ckpt := s.checkpointPath(id)
+	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
+		s.finishJob(id, nil, fmt.Errorf("farm: job dir: %w", err))
+		return
+	}
+
+	var o *campaign.Orchestrator
+	if _, statErr := os.Stat(ckpt); statErr == nil {
+		// Recovery: the checkpoint is atomic, so if the file exists it
+		// is a complete generation. ResumeMixedFile validates the spec
+		// against it (arm signatures, designs, coverage spaces).
+		o, err = campaign.ResumeMixedFile(ckpt, duts, arms...)
+		if err != nil {
+			s.finishJob(id, nil, fmt.Errorf("farm: resume %s: %w", id, err))
+			return
+		}
+		s.publishRecovered(id, o.Trajectory())
+	} else {
+		o, err = campaign.NewMixed(cfg, duts, arms...)
+		if err != nil {
+			s.finishJob(id, nil, err)
+			return
+		}
+	}
+	defer o.Close()
+
+	for o.Tests() < spec.Tests {
+		if s.stopRequested() {
+			if s.isKilled() {
+				// Crash simulation: abandon mid-flight. The last durable
+				// checkpoint and the WAL are exactly what a kill -9
+				// leaves; recovery must work from those alone.
+				return
+			}
+			// Graceful park: make the current barrier durable and hand
+			// the job back to the queue for the next daemon.
+			if err := o.CheckpointFile(ckpt); err != nil {
+				s.finishJob(id, nil, fmt.Errorf("farm: park checkpoint: %w", err))
+				return
+			}
+			s.parkJob(id)
+			return
+		}
+		if err := o.RunRound(); err != nil {
+			s.finishJob(id, nil, err)
+			return
+		}
+		s.publishRound(id, o)
+		if o.Rounds()%spec.CheckpointEvery == 0 {
+			if err := o.CheckpointFile(ckpt); err != nil {
+				s.finishJob(id, nil, fmt.Errorf("farm: checkpoint: %w", err))
+				return
+			}
+		}
+	}
+	// The final checkpoint is the job's durable artifact (the
+	// trajectory endpoint reads it after restarts, and the e2e test
+	// byte-compares it against an uninterrupted run's).
+	if err := o.CheckpointFile(ckpt); err != nil {
+		s.finishJob(id, nil, fmt.Errorf("farm: final checkpoint: %w", err))
+		return
+	}
+	s.finishJob(id, &JobSummary{
+		Rounds:   o.Rounds(),
+		Tests:    o.Tests(),
+		Hours:    o.Hours(),
+		Coverage: o.Coverage(),
+	}, nil)
+}
+
+// publishRound appends the just-committed barrier's report and wakes
+// watchers.
+func (s *Server) publishRound(id string, o *campaign.Orchestrator) {
+	rep := RoundReport{Round: o.Rounds(), Tests: o.Tests(), Hours: o.Hours(), Coverage: o.Coverage()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	j.rounds = append(j.rounds, rep)
+	j.status.Round = rep.Round
+	j.status.Tests = rep.Tests
+	j.status.Coverage = rep.Coverage
+	if g := s.cfg.Metrics; g != nil {
+		g.Counter("farm/rounds").Add(1)
+	}
+	s.cond.Broadcast()
+}
+
+// publishRecovered rebuilds the report history of a resumed job from
+// its checkpointed merged trajectory, so a watcher reconnecting after
+// a daemon restart replays the full history — the stream is
+// continuous across crashes because the trajectory is.
+func (s *Server) publishRecovered(id string, traj []core.ProgressPoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	j.rounds = j.rounds[:0]
+	for i, pt := range traj {
+		j.rounds = append(j.rounds, RoundReport{Round: i + 1, Tests: pt.Tests, Hours: pt.Hours, Coverage: pt.Coverage})
+	}
+	if n := len(j.rounds); n > 0 {
+		j.status.Round = n
+		j.status.Tests = j.rounds[n-1].Tests
+		j.status.Coverage = j.rounds[n-1].Coverage
+	}
+	s.cond.Broadcast()
+}

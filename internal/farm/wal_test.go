@@ -1,0 +1,192 @@
+package farm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openForTest(t *testing.T, path string) (*wal, [][]byte) {
+	t.Helper()
+	w, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	return w, recs
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.log")
+	w, recs := openForTest(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := []string{"one", "two", `{"op":"submit","id":"job-1"}`}
+	for _, r := range want {
+		if err := w.Append([]byte(r)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w2, recs := openForTest(t, path)
+	defer w2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if string(r) != want[i] {
+			t.Errorf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+}
+
+// TestWALTornTailTruncated: a crash mid-append leaves a torn final
+// frame; replay must recover every acknowledged record, drop the torn
+// tail, and leave the log appendable.
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, cut := range []struct {
+		name  string
+		bytes int // bytes to keep of the final frame (8 hdr + 5 payload)
+	}{
+		{"mid-header", 3},
+		{"header-only", 8},
+		{"mid-payload", 10},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "queue.log")
+			w, _ := openForTest(t, path)
+			if err := w.Append([]byte("good1")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := w.Append([]byte("good2")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := w.Append([]byte("torn!")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("Stat: %v", err)
+			}
+			if err := os.Truncate(path, st.Size()-13+int64(cut.bytes)); err != nil {
+				t.Fatalf("Truncate: %v", err)
+			}
+
+			w2, recs := openForTest(t, path)
+			if len(recs) != 2 || string(recs[0]) != "good1" || string(recs[1]) != "good2" {
+				t.Fatalf("replay after torn tail = %q, want [good1 good2]", recs)
+			}
+			// The log must be clean for appending again.
+			if err := w2.Append([]byte("after-recovery")); err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			w3, recs := openForTest(t, path)
+			defer w3.Close()
+			if len(recs) != 3 || string(recs[2]) != "after-recovery" {
+				t.Fatalf("replay after re-append = %q", recs)
+			}
+		})
+	}
+}
+
+// TestWALCorruptChecksumEndsReplay: a flipped payload bit fails the
+// CRC and ends replay at the previous record.
+func TestWALCorruptChecksumEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.log")
+	w, _ := openForTest(t, path)
+	if err := w.Append([]byte("good")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Append([]byte("rotten")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	w2, recs := openForTest(t, path)
+	defer w2.Close()
+	if len(recs) != 1 || string(recs[0]) != "good" {
+		t.Fatalf("replay past a corrupt record: %q", recs)
+	}
+}
+
+// TestWALInsaneLengthEndsReplay: a corrupt length field must not make
+// replay allocate gigabytes; it ends the scan like any torn tail.
+func TestWALInsaneLengthEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.log")
+	w, _ := openForTest(t, path)
+	if err := w.Append([]byte("good")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<31)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatalf("write corrupt header: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	w2, recs := openForTest(t, path)
+	defer w2.Close()
+	if len(recs) != 1 || string(recs[0]) != "good" {
+		t.Fatalf("replay with insane length = %q", recs)
+	}
+}
+
+func TestWALRejectsOversizeAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.log")
+	w, _ := openForTest(t, path)
+	defer w.Close()
+	if err := w.Append(make([]byte, walRecordMax+1)); err == nil {
+		t.Fatal("Append accepted a record over the frame cap")
+	}
+}
+
+func TestWALManyRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.log")
+	w, _ := openForTest(t, path)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%03d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w2, recs := openForTest(t, path)
+	defer w2.Close()
+	if len(recs) != n {
+		t.Fatalf("replayed %d, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("record-%03d", i); string(r) != want {
+			t.Fatalf("record %d = %q, want %q", i, r, want)
+		}
+	}
+}

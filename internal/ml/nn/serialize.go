@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"chatfuzz/internal/atomicio"
 )
 
 // modelFile is the on-disk representation of a GPT checkpoint.
@@ -25,14 +27,11 @@ func (m *GPT) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&mf)
 }
 
-// SaveFile writes the model to a file.
+// SaveFile writes the model to a file atomically (staged, fsynced and
+// renamed via internal/atomicio), so a crash mid-save cannot tear an
+// existing weights file.
 func (m *GPT) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return m.Save(f)
+	return atomicio.WriteFile(path, m.Save)
 }
 
 // Load reads a checkpoint produced by Save. The receiver must have

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"chatfuzz/internal/atomicio"
 )
 
 // snapshotLine is one JSONL record of the snapshot sink: a wall-clock
@@ -20,14 +22,20 @@ type snapshotLine struct {
 // WriteSnapshot appends one JSONL snapshot line for the registry to
 // w. uptimeMS stamps the line; the serialized form is deterministic
 // for equal registry state and stamp (encoding/json sorts map keys).
+// File-backed writers are fsynced after the line, so a killed soak
+// run durably keeps every snapshot it reported writing — losing at
+// most the interval since the last tick, never a torn file of stale
+// pages (atomicio.Fsync is a no-op for non-file writers).
 func WriteSnapshot(w io.Writer, g *Registry, uptimeMS int64) error {
 	b, err := json.Marshal(snapshotLine{UptimeMS: uptimeMS, Snapshot: g.Snapshot()})
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
-	_, err = w.Write(b)
-	return err
+	if _, err = w.Write(b); err != nil {
+		return err
+	}
+	return atomicio.Fsync(w)
 }
 
 // Snapshotter periodically appends registry snapshots to a writer as
@@ -127,5 +135,8 @@ func WriteBenchFile(path string, pr int, vals map[string]float64) error {
 		return err
 	}
 	b = append(b, '\n')
-	return os.WriteFile(path, b, 0o644)
+	// Atomic replace: the file is read back by CI gates (and merged by
+	// the next benchmark of the same PR), so a torn write would fail
+	// the pipeline with a JSON parse error instead of a real signal.
+	return atomicio.WriteFileBytes(path, b)
 }
